@@ -1,0 +1,62 @@
+"""Table 3: the pseudo-Erlang approximation under a phase sweep.
+
+One benchmark per number of phases k in {1, 2, ..., 1024}; each
+reports the computed value, its relative error against the converged
+value, and the paper's counterparts.  The paper's qualitative claims
+are asserted: convergence is monotone from below and the error roughly
+halves per doubling of k.
+"""
+
+import pytest
+
+from repro.algorithms import ErlangEngine
+from repro.models import adhoc
+
+from conftest import report
+
+
+@pytest.mark.parametrize(
+    "phases,paper_value,paper_error",
+    [pytest.param(row[0], row[1], row[2], id=f"k={row[0]}")
+     for row in adhoc.TABLE3_PSEUDO_ERLANG])
+def bench_table3_row(benchmark, q3_setting, q3_exact, phases,
+                     paper_value, paper_error):
+    model, goal, initial, t, r = q3_setting
+    engine = ErlangEngine(phases=phases)
+
+    def run():
+        return engine.joint_probability_vector(model, t, r,
+                                               [goal])[initial]
+
+    value = benchmark(run)
+    error_pct = 100.0 * (q3_exact - value) / q3_exact
+    assert value < q3_exact, "pseudo-Erlang converges from below"
+    report(benchmark,
+           phases=phases,
+           value=round(float(value), 8), paper_value=paper_value,
+           rel_error_pct=round(float(error_pct), 3),
+           paper_rel_error_pct=paper_error,
+           expanded_states=engine.last_expanded_size)
+
+
+def bench_table3_error_halving(benchmark, q3_setting, q3_exact):
+    """Qualitative shape: the error roughly halves per doubling of k."""
+    model, goal, initial, t, r = q3_setting
+
+    def sweep():
+        errors = []
+        for phases in (8, 16, 32, 64, 128):
+            engine = ErlangEngine(phases=phases)
+            value = engine.joint_probability_vector(
+                model, t, r, [goal])[initial]
+            errors.append(q3_exact - value)
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = [earlier / later
+              for earlier, later in zip(errors, errors[1:])]
+    for ratio in ratios:
+        assert 1.5 < ratio < 2.6, (
+            f"error should roughly halve per doubling, got {ratios}")
+    report(benchmark, ratios=[round(float(r), 2) for r in ratios],
+           paper_ratio_hint="~2 per doubling (Table 3)")

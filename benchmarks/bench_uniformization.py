@@ -1,0 +1,75 @@
+"""Benchmarks of the numerical substrate (uniformisation, Fox-Glynn).
+
+Not a paper table, but the foundation every procedure rests on: these
+benchmarks track the transient engine against scipy's Krylov-based
+``expm_multiply`` and measure the effect of steady-state detection --
+the optimisation the paper wishes for in its Section 5.4 outlook.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.models.workloads import random_mrm, workstation_cluster
+from repro.numerics.poisson import poisson_weights
+from repro.numerics.uniformization import transient_distribution
+
+from conftest import report
+
+
+@pytest.mark.parametrize("states", [10, 100, 1000],
+                         ids=lambda n: f"n={n}")
+def bench_transient_uniformization(benchmark, states):
+    model = random_mrm(states, density=min(0.2, 20.0 / states), seed=1)
+    t = 5.0
+
+    def run():
+        return transient_distribution(model, t, epsilon=1e-10)
+
+    pi = benchmark(run)
+    assert pi.sum() == pytest.approx(1.0, abs=1e-8)
+    report(benchmark, states=states,
+           lambda_t=round(model.max_exit_rate * t, 1))
+
+
+@pytest.mark.parametrize("states", [10, 100],
+                         ids=lambda n: f"n={n}")
+def bench_transient_expm_multiply_reference(benchmark, states):
+    """scipy's expm_multiply on the same problem, for comparison."""
+    model = random_mrm(states, density=min(0.2, 20.0 / states), seed=1)
+    generator = model.generator_matrix().transpose().tocsc()
+    alpha = model.initial_distribution
+
+    def run():
+        return spla.expm_multiply(generator * 5.0, alpha)
+
+    pi = benchmark(run)
+    reference = transient_distribution(model, 5.0, epsilon=1e-12)
+    assert np.allclose(pi, reference, atol=1e-7)
+    report(benchmark, states=states)
+
+
+def bench_steady_state_detection(benchmark):
+    """Detection pays off on stiff ergodic chains at long horizons --
+    the optimisation the paper's outlook asks for."""
+    model = workstation_cluster(12, failure_rate=0.5, repair_rate=5.0)
+    t = 10_000.0
+
+    def run():
+        return transient_distribution(model, t, epsilon=1e-10,
+                                      steady_state_detection=True)
+
+    with_detection = benchmark(run)
+    without = transient_distribution(model, t, epsilon=1e-10,
+                                     steady_state_detection=False)
+    assert np.allclose(with_detection, without, atol=1e-7)
+    report(benchmark, horizon=t,
+           lambda_t=round(model.max_exit_rate * t, 0))
+
+
+@pytest.mark.parametrize("rate", [50.0, 500.0, 5000.0],
+                         ids=lambda q: f"q={q:g}")
+def bench_fox_glynn_weights(benchmark, rate):
+    weights = benchmark(poisson_weights, rate, 1e-12)
+    assert weights.weights.sum() == pytest.approx(1.0)
+    report(benchmark, window=len(weights))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table (or one observation) of the
+paper's evaluation section on the case-study model.  Timings are
+collected by pytest-benchmark; the computed values and their paper
+counterparts are attached to each benchmark's ``extra_info`` and
+printed, so a run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the tables side by side with the paper's numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import adhoc
+
+
+@pytest.fixture(scope="session")
+def q3_reduction():
+    """The Theorem-1 reduction of the case study (3 transient + 2
+    absorbing states, uniformisation rate 19.5/h)."""
+    return adhoc.reduced_q3_model()
+
+
+@pytest.fixture(scope="session")
+def q3_setting(q3_reduction):
+    """(model, goal state, initial state, t, r) of property Q3."""
+    model = q3_reduction.model
+    initial = int(np.argmax(model.initial_distribution))
+    return (model, q3_reduction.goal_state, initial,
+            adhoc.Q3_TIME_BOUND, adhoc.Q3_REWARD_BOUND)
+
+
+@pytest.fixture(scope="session")
+def q3_exact(q3_setting):
+    """Converged Q3 path probability on our reconstruction."""
+    from repro.algorithms import SericolaEngine
+    model, goal, initial, t, r = q3_setting
+    engine = SericolaEngine(epsilon=1e-10)
+    return float(engine.joint_probability_vector(model, t, r,
+                                                 [goal])[initial])
+
+
+def report(benchmark, **info):
+    """Attach comparison data to the benchmark and print one row."""
+    benchmark.extra_info.update(info)
+    row = "  ".join(f"{key}={value}" for key, value in info.items())
+    print(f"\n    [{benchmark.name}] {row}")

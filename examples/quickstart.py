@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: build a Markov reward model and check CSRL formulas.
+
+A tiny dependable-system model: a server that is up (earning 2 units
+of useful work per hour), degraded (earning 1), or down (earning
+nothing).  We ask questions that exercise all four until variants of
+the paper (P0-P3) plus the NEXT and steady-state operators.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ModelBuilder, ModelChecker
+from repro.algorithms import (DiscretizationEngine, ErlangEngine,
+                              SericolaEngine)
+
+
+def build_server_model():
+    """Three-state degradable server with repair."""
+    builder = ModelBuilder()
+    builder.add_state("up", labels=("operational",), reward=2.0)
+    builder.add_state("degraded", labels=("operational",), reward=1.0)
+    builder.add_state("down", labels=("failed",), reward=0.0)
+    builder.add_transition("up", "degraded", 0.2)     # partial failure
+    builder.add_transition("degraded", "down", 0.5)   # full failure
+    builder.add_transition("degraded", "up", 1.0)     # quick fix
+    builder.add_transition("down", "up", 0.25)        # full repair
+    return builder.build(initial_state="up")
+
+
+def main():
+    model = build_server_model()
+    print(f"model: {model}")
+    checker = ModelChecker(model)
+
+    queries = [
+        # P0: unbounded until -- will the server eventually fail?
+        "P>=1 [ F failed ]",
+        # P1: time-bounded -- failure within 10 hours?
+        "P<0.5 [ F[0,10] failed ]",
+        # P2: reward-bounded -- failure before 5 units of work done?
+        "P<0.2 [ operational U[0,inf][0,5] failed ]",
+        # P3: both bounds -- failure within 10 hours AND below 5 units
+        # of accumulated work?
+        "P<0.2 [ operational U[0,10][0,5] failed ]",
+        # NEXT with bounds: first transition into 'degraded' within
+        # one hour, having produced at most 1.5 units.
+        "P>0.1 [ X[0,1][0,1.5] degraded ]",
+        # Steady state: long-run availability above 80 percent?
+        "S>0.8 [ operational ]",
+    ]
+    print("\nsatisfaction per query (initial state 'up'):")
+    for query in queries:
+        result = checker.check(query)
+        value = ("" if result.probabilities is None
+                 else f"  value={result.probability_of(0):.6f}")
+        verdict = "holds" if result.holds_initially else "fails"
+        print(f"  {query:55s} -> {verdict}{value}")
+
+    # The same P3 probability with each of the paper's three engines.
+    print("\nP(operational U[0,10][0,5] failed) by engine:")
+    phi = checker.satisfaction_set("operational")
+    psi = checker.satisfaction_set("failed")
+    from repro.mc.until import time_reward_bounded_until
+    from repro.logic.intervals import Interval
+    for engine in (SericolaEngine(epsilon=1e-10),
+                   ErlangEngine(phases=256),
+                   DiscretizationEngine(step=1.0 / 128)):
+        probs = time_reward_bounded_until(
+            model, set(phi), set(psi), Interval.upto(10.0),
+            Interval.upto(5.0), engine)
+        print(f"  {engine!r:45s} {probs[0]:.8f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Visualising the two-dimensional process (X_t, Y_t) of Fig. 1.
+
+The paper reduces CSRL model checking to a stochastic process with a
+discrete CTMC component and a continuously growing accumulated-reward
+component, with an absorbing barrier at the reward bound r.  This
+example simulates paths of the case-study model and renders them in
+ASCII: time flows left to right, the vertical axis is accumulated
+reward, the letter marks the current state, and paths stop at the
+barrier (reward bound) or the horizon (time bound).
+
+Run with:  python examples/two_dimensional_process.py [paths]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.models import adhoc
+from repro.sim import PathSimulator
+
+WIDTH = 72      # time resolution (columns)
+HEIGHT = 24     # reward resolution (rows)
+
+
+def render_path(model, path, t_bound, r_bound):
+    """One path as an ASCII picture of the (time, reward) plane."""
+    grid = [[" "] * (WIDTH + 1) for _ in range(HEIGHT + 1)]
+    letters = {}
+    for s in range(model.num_states):
+        name = model.name_of(s)
+        letters[s] = ("D" if name == "doze"
+                      else "".join(w[0] for w in name.split("+"))[:1]
+                      .upper())
+
+    crossed = None
+    for column in range(WIDTH + 1):
+        instant = t_bound * column / WIDTH
+        if instant > path.horizon:
+            break
+        reward = path.reward_at(instant, model.rewards)
+        if reward > r_bound:
+            crossed = column
+            break
+        row = HEIGHT - int(round(reward / r_bound * HEIGHT))
+        state = path.state_at(instant)
+        grid[row][column] = letters.get(state, "?")
+
+    lines = []
+    barrier = "=" * (WIDTH + 1) + "  <- absorbing barrier (r = %g)" \
+        % r_bound
+    lines.append(barrier)
+    for row_index, row in enumerate(grid):
+        reward_label = (1.0 - row_index / HEIGHT) * r_bound
+        lines.append("".join(row) + f"  {reward_label:8.1f}")
+    lines.append("-" * (WIDTH + 1) + f"  t in [0, {t_bound:g}]")
+    if crossed is not None:
+        lines.insert(1, " " * crossed + "^ crossed the barrier here")
+    return "\n".join(lines)
+
+
+def main():
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    model = adhoc.adhoc_model()
+    t_bound, r_bound = 8.0, 600.0
+
+    print(__doc__)
+    print(f"states: "
+          + ", ".join(f"{model.name_of(s)}" for s in range(4)) + ", ...")
+    simulator = PathSimulator(model, seed=7)
+    crossed = 0
+    for index in range(count):
+        path = simulator.sample_path(t_bound)
+        print(f"\n--- path {index + 1} "
+              f"(final reward {path.final_reward:.1f} mAh) ---")
+        print(render_path(model, path, t_bound, r_bound))
+        if path.final_reward > r_bound:
+            crossed += 1
+
+    # Estimate the barrier-crossing probability and compare with the
+    # numerical value Pr{Y_t > r} = 1 - Pr{Y_t <= r}.
+    from repro.mc.measures import performability_distribution
+    numeric = 1.0 - performability_distribution(model, t_bound, r_bound)
+    sample = sum(
+        simulator.sample_path(t_bound).final_reward > r_bound
+        for _ in range(4000)) / 4000
+    print(f"\nPr{{Y_{t_bound:g} > {r_bound:g}}}: "
+          f"numeric {numeric:.4f}, simulated {sample:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Dependability analysis of a workstation cluster with CSRL.
+
+A cluster of N workstations with a single repair unit delivers a
+service capacity equal to the number of working stations (the reward
+rate).  CSRL expresses the dependability measures of the paper's
+motivation -- including the new time+reward-bounded kind: "does the
+cluster, within the first day, deliver at least some amount of work
+without a total outage?".  (Reward bounds in CSRL are upper bounds,
+so the work guarantee is expressed through its complement.)
+
+Run with:  python examples/workstation_cluster.py
+"""
+
+import numpy as np
+
+from repro.mc import ModelChecker, measures
+from repro.models.workloads import workstation_cluster
+
+STATIONS = 8
+DAY = 24.0
+
+
+def main():
+    model = workstation_cluster(STATIONS, failure_rate=0.05,
+                                repair_rate=0.5)
+    checker = ModelChecker(model)
+    initial = STATIONS
+    print(f"cluster: {STATIONS} stations, reward = working stations")
+
+    # ----- classic CSL dependability queries --------------------------
+    print("\nclassic dependability queries:")
+    queries = [
+        # long-run availability of the 'available' service level
+        "S>0.95 [ available ]",
+        # probability of a total outage within a day
+        "P<0.001 [ F[0,24] outage ]",
+        # once degraded below the threshold, quick recovery?
+        "P>0.6 [ !available U[0,4] available ]",
+    ]
+    for query in queries:
+        result = checker.check(query)
+        verdict = "holds" if initial in result.states else "fails"
+        value = ("" if result.probabilities is None else
+                 f"  value={result.probability_of(initial):.6f}")
+        print(f"  {query:48s} -> {verdict}{value}")
+
+    # ----- the paper's new measure kind -------------------------------
+    # P3-type: reach the outage state within a day AND with little
+    # accumulated service delivered -- the "catastrophic early failure"
+    # probability.  Low work bound makes this doubly rare.
+    little_work = 0.1 * STATIONS * DAY
+    p3 = f"P<1e-6 [ available U[0,{DAY:g}][0,{little_work:g}] outage ]"
+    result = checker.check(p3)
+    print("\nnew (P3-type) measure -- catastrophic early failure:")
+    print(f"  {p3}")
+    print(f"  probability = {result.probability_of(initial):.3e} "
+          f"({'holds' if initial in result.states else 'fails'})")
+
+    # ----- performability summary --------------------------------------
+    print("\nperformability summary over one day:")
+    expected = measures.expected_accumulated_reward(model, DAY)
+    ideal = STATIONS * DAY
+    print(f"  E[delivered work] = {expected:8.2f} station-hours "
+          f"({100 * expected / ideal:.1f}% of ideal {ideal:g})")
+    for fraction in (0.90, 0.95, 0.99):
+        r = fraction * ideal
+        value = measures.performability_distribution(model, DAY, r)
+        print(f"  Pr{{work <= {100 * fraction:.0f}% of ideal}} "
+              f"= {value:.6f}")
+
+    # Capacity-availability curve: long-run fraction of time at least
+    # k stations are up.
+    print("\nlong-run Pr{at least k stations working}:")
+    from repro.numerics.linear import stationary_distribution
+    pi = stationary_distribution(model)
+    tail = np.cumsum(pi[::-1])[::-1]
+    for k in range(STATIONS, max(-1, STATIONS - 5), -1):
+        print(f"  k >= {k}: {tail[k]:.6f}")
+
+
+if __name__ == "__main__":
+    main()

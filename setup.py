@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that editable installs work in offline environments whose
+setuptools lacks the ``wheel`` package required by PEP 660 editable
+wheels; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro: a CSRL performability model checker for Markov reward models.
+
+Reproduction of "Model Checking Performability Properties" (Haverkort,
+Cloth, Hermanns, Katoen, Baier; DSN 2002).  The library provides:
+
+* Markov reward models (:mod:`repro.ctmc`) and stochastic reward nets
+  (:mod:`repro.srn`) as modelling front ends;
+* the logic CSRL (:mod:`repro.logic`) with a text parser;
+* a model checker (:mod:`repro.mc`) covering all CSRL operators, with
+  three interchangeable engines for time- and reward-bounded until
+  (:mod:`repro.algorithms`): pseudo-Erlang approximation, Tijms-Veldman
+  discretisation and Sericola\'s occupation-time algorithm;
+* a Monte-Carlo path simulator (:mod:`repro.sim`) for validation;
+* the paper\'s case study (:mod:`repro.models.adhoc`).
+"""
+
+from repro.ctmc import CTMC, MarkovRewardModel, ModelBuilder
+from repro.logic import parse_formula, Interval
+from repro.mc import ModelChecker, CheckResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTMC", "MarkovRewardModel", "ModelBuilder",
+    "parse_formula", "Interval",
+    "ModelChecker", "CheckResult",
+    "__version__",
+]

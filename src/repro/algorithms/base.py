@@ -1,0 +1,106 @@
+"""Common interface of the joint-distribution engines.
+
+Every engine computes, for an MRM with accumulated reward ``Y_t``, the
+*joint* probability
+
+    Pr{ Y_t <= r, X_t in target | X_0 = s }        for every state s,
+
+the quantity that Theorem 2 of the paper reduces time- and
+reward-bounded until checking to.  Engines are stateless value objects
+holding their accuracy parameters, so one engine instance can be reused
+across models and queries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import NumericalError
+
+
+class JointEngine(ABC):
+    """Computes ``Pr{Y_t <= r, X_t in target}`` on an MRM."""
+
+    #: Short identifier used by :func:`get_engine` and the CLI.
+    name: str = "abstract"
+
+    @abstractmethod
+    def joint_probability_vector(self,
+                                 model: MarkovRewardModel,
+                                 t: float,
+                                 r: float,
+                                 target: Iterable[int]) -> np.ndarray:
+        """Per-initial-state joint probabilities.
+
+        Returns the vector ``v`` with
+        ``v[s] = Pr{Y_t <= r, X_t in target | X_0 = s}``.
+        """
+
+    def joint_probability(self,
+                          model: MarkovRewardModel,
+                          t: float,
+                          r: float,
+                          target: Iterable[int],
+                          initial: Optional[Sequence[float]] = None
+                          ) -> float:
+        """The joint probability from *initial* (default: the model's
+        initial distribution)."""
+        vector = self.joint_probability_vector(model, t, r, target)
+        alpha = (model.initial_distribution if initial is None
+                 else np.asarray(initial, dtype=float))
+        return float(alpha @ vector)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate(model: MarkovRewardModel, t: float, r: float,
+                  target: Iterable[int]) -> np.ndarray:
+        """Shared argument validation; returns the target indicator."""
+        if t < 0.0:
+            raise NumericalError(f"time bound must be >= 0, got {t}")
+        if r < 0.0:
+            raise NumericalError(f"reward bound must be >= 0, got {r}")
+        indicator = np.zeros(model.num_states)
+        for s in target:
+            s = int(s)
+            if not 0 <= s < model.num_states:
+                raise NumericalError(
+                    f"target state {s} outside the state space")
+            indicator[s] = 1.0
+        return indicator
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Type[JointEngine]] = {}
+
+
+def register_engine(cls: Type[JointEngine]) -> Type[JointEngine]:
+    """Class decorator adding an engine to the name registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_engines() -> "list[str]":
+    """Names of all registered engines."""
+    return sorted(_REGISTRY)
+
+
+def get_engine(name: str, **options) -> JointEngine:
+    """Instantiate a registered engine by name.
+
+    >>> get_engine("sericola").name
+    'sericola'
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise NumericalError(
+            f"unknown engine {name!r}; available: "
+            f"{', '.join(available_engines())}") from None
+    return cls(**options)

@@ -1,0 +1,265 @@
+"""The Tijms--Veldman discretisation (Section 4.3 of the paper).
+
+Time and accumulated reward are discretised with a common step size
+``d``; the step must be small enough that more than one transition per
+interval is negligible (we require at least ``max_s E(s) * d <= 1``).
+Rewards must be natural numbers -- rational rewards can always be
+scaled, see :func:`integer_reward_scale`.
+
+The scheme propagates the discretised joint density ``F^j(s, k)`` of
+being in state ``s`` at time ``j * d`` with accumulated reward
+``k * d``:
+
+    F^1(s0, rho(s0)) = 1 / d
+    F^{j+1}(s, k) = F^j(s, k - rho(s)) (1 - E(s) d)
+                  + sum_{s'} F^j(s', k - rho(s')) R(s', s) d
+
+(the displacement uses the reward rate of the state occupied during
+the interval, as in Tijms & Veldman's original formulation).  After
+``T = t / d`` steps,
+
+    Pr{Y_t <= r, X_t in S'} ~~ sum_{s in S'} sum_{k<=R} F^T(s, k) d
+
+with ``R = r / d``.  For out-of-range displacements (``rho(s) > k``)
+the paper sets the index to zero; physically the density at negative
+accumulated reward is zero, so dropping the term is the cleaner
+reading.  Both variants are implemented (``underflow="drop"`` is the
+default, ``"clamp"`` reproduces the paper's literal rule); they agree
+whenever no probability mass sits at accumulated reward zero, in
+particular on the paper's case study.
+
+The whole per-step update is two sparse-matrix/dense-matrix products,
+so the cost is ``O(T * nnz(R) * R / d)`` -- quadratic in ``1/d``,
+matching the paper's observation that halving ``d`` quadruples the
+runtime (Table 4).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.algorithms.base import JointEngine, register_engine
+from repro.algorithms.erlang import zero_reward_bound_vector
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import NumericalError, RewardError
+
+
+def integer_reward_scale(rewards: Iterable[float],
+                         max_denominator: int = 10 ** 6) -> int:
+    """Smallest integer ``c`` making every reward in *rewards* integral.
+
+    Raises :class:`~repro.errors.RewardError` when a reward is not
+    (recognisably) rational with denominator up to *max_denominator*.
+    """
+    scale = 1
+    for reward in rewards:
+        fraction = Fraction(float(reward)).limit_denominator(max_denominator)
+        if abs(float(fraction) - float(reward)) > 1e-9 * max(1.0, reward):
+            raise RewardError(
+                f"reward {reward} is not a small rational; "
+                f"scale rewards manually")
+        denominator = fraction.denominator
+        # lcm(scale, denominator)
+        from math import gcd
+        scale = scale * denominator // gcd(scale, denominator)
+    return scale
+
+
+@register_engine
+class DiscretizationEngine(JointEngine):
+    """Tijms--Veldman engine with step size *step*.
+
+    Parameters
+    ----------
+    step:
+        The discretisation step ``d`` for both time and reward (the
+        accuracy knob, Table 4 of the paper).  ``t/d`` must be an
+        integer and ``max_s E(s) * d <= 1`` must hold.
+    underflow:
+        ``"drop"`` (density at negative accumulated reward is zero) or
+        ``"clamp"`` (the paper's literal "set the index to 0" rule).
+    include_zero:
+        Include the ``k = 0`` cell in the final sum.  The paper's
+        formula starts at ``k = 1``; the zero cell only carries mass
+        when the initial state has reward zero.
+    """
+
+    name = "discretization"
+
+    def __init__(self,
+                 step: float = 1.0 / 64,
+                 underflow: str = "drop",
+                 include_zero: bool = True):
+        if step <= 0.0:
+            raise NumericalError(f"step must be positive, got {step}")
+        if underflow not in ("drop", "clamp"):
+            raise NumericalError(
+                f"underflow must be 'drop' or 'clamp', got {underflow!r}")
+        self.step = float(step)
+        self.underflow = underflow
+        self.include_zero = bool(include_zero)
+
+    # ------------------------------------------------------------------
+
+    def joint_probability_vector(self,
+                                 model: MarkovRewardModel,
+                                 t: float,
+                                 r: float,
+                                 target: Iterable[int]) -> np.ndarray:
+        indicator = self._validate(model, t, r, target)
+        result = np.empty(model.num_states)
+        for s in range(model.num_states):
+            result[s] = self.joint_probability_from(model, t, r,
+                                                    indicator, s)
+        return result
+
+    def joint_probability(self,
+                          model: MarkovRewardModel,
+                          t: float,
+                          r: float,
+                          target: Iterable[int],
+                          initial=None) -> float:
+        indicator = self._validate(model, t, r, target)
+        alpha = (model.initial_distribution if initial is None
+                 else np.asarray(initial, dtype=float))
+        total = 0.0
+        for s in np.flatnonzero(alpha):
+            total += alpha[s] * self.joint_probability_from(
+                model, t, r, indicator, int(s))
+        return total
+
+    def joint_probability_from(self,
+                               model: MarkovRewardModel,
+                               t: float,
+                               r: float,
+                               indicator: np.ndarray,
+                               initial_state: int) -> float:
+        """Joint probability from a single initial state (one run)."""
+        if t == 0.0:
+            return float(indicator[initial_state])
+        if r == 0.0:
+            exact = zero_reward_bound_vector(model, t, indicator)
+            return float(exact[initial_state])
+        density = self.final_density(model, t, r, initial_state)
+        start = 0 if self.include_zero else 1
+        mass = density[:, start:] * self.step
+        return float(min(1.0, (mass.sum(axis=1) * indicator).sum()))
+
+    # ------------------------------------------------------------------
+
+    def final_density(self,
+                      model: MarkovRewardModel,
+                      t: float,
+                      r: float,
+                      initial_state: int) -> np.ndarray:
+        """The discretised density ``F^T`` as an ``(|S|, R+1)`` array.
+
+        ``F[s, k]`` approximates the joint density of ``(X_t, Y_t)`` at
+        ``Y_t = k * d``, restricted to ``Y_t <= r`` (mass beyond the
+        bound is discarded on the fly; it never flows back because
+        displacements are non-negative).
+        """
+        d = self.step
+        steps = t / d
+        if abs(steps - round(steps)) > 1e-9:
+            raise NumericalError(
+                f"time bound {t} is not a multiple of the step {d}")
+        num_steps = int(round(steps))
+        if not model.has_integer_rewards():
+            raise RewardError(
+                "the discretisation scheme needs natural-number rewards; "
+                "use model.scaled_rewards(integer_reward_scale(...)) and "
+                "scale the reward bound accordingly")
+        rho = np.round(model.rewards).astype(np.int64)
+        exit_rates = model.exit_rates
+        if exit_rates.max() * d > 1.0 + 1e-12:
+            raise NumericalError(
+                f"step {d} too coarse: max exit rate {exit_rates.max()} "
+                f"gives a negative stay probability; need d <= "
+                f"{1.0 / exit_rates.max()}")
+        num_cells = int(np.floor(r / d + 1e-9)) + 1
+
+        # Impulse rewards add a transition-specific displacement of
+        # iota / d cells; split the rate matrix by impulse value so
+        # each group is one sparse product on a uniformly re-shifted
+        # density (the paper's future-work extension).
+        impulse_groups = self._impulse_groups(model, d)
+        transposed = (impulse_groups.pop(0)
+                      if 0 in impulse_groups
+                      else sp.csr_matrix((model.num_states,) * 2))
+        stay = 1.0 - exit_rates * d
+
+        density = np.zeros((model.num_states, num_cells))
+        start_cell = min(int(rho[initial_state]), num_cells - 1)
+        # F^1 places all mass (density 1/d) at the initial state with
+        # one interval's reward already earned.
+        if rho[initial_state] < num_cells:
+            density[initial_state, start_cell] = 1.0 / d
+        else:
+            # The very first interval already exceeds the bound.
+            return density
+        reward_groups = [(value, np.flatnonzero(rho == value))
+                         for value in np.unique(rho)]
+
+        for _ in range(num_steps - 1):
+            shifted = np.zeros_like(density)
+            for value, states in reward_groups:
+                if value == 0:
+                    shifted[states] = density[states]
+                elif value < num_cells:
+                    shifted[states, value:] = density[states, :-value]
+                    if self.underflow == "clamp":
+                        shifted[states, :value] = (
+                            density[states, 0][:, None])
+                # value >= num_cells: every displacement exceeds the
+                # bound; the row contributes nothing (mass discarded).
+                elif self.underflow == "clamp":
+                    shifted[states, :] = density[states, 0][:, None]
+            density = stay[:, None] * shifted + transposed @ shifted
+            for cells, group in impulse_groups.items():
+                if cells >= num_cells:
+                    continue  # the impulse alone exceeds the bound
+                extra = np.zeros_like(shifted)
+                extra[:, cells:] = shifted[:, :num_cells - cells]
+                density += group @ extra
+        return density
+
+    @staticmethod
+    def _impulse_groups(model: MarkovRewardModel, d: float):
+        """Transposed, d-scaled rate matrices grouped by the number of
+        reward cells their impulse displaces (0 for no impulse)."""
+        base = (model.rate_matrix.transpose() * d).tocsr()
+        if not model.has_impulse_rewards:
+            return {0: base}
+        inverse_step = 1.0 / d
+        if abs(inverse_step - round(inverse_step)) > 1e-9:
+            raise NumericalError(
+                "impulse rewards need a step of the form 1/n so the "
+                "impulse displacement is an integer number of cells")
+        impulses = model.impulse_matrix
+        values = np.unique(impulses.data)
+        if np.any(np.abs(values - np.round(values)) > 1e-12):
+            raise RewardError(
+                "the discretisation scheme needs natural-number "
+                "impulse rewards; scale the model")
+        transposed_impulses = impulses.transpose().tocsr()
+        groups = {}
+        coo = base.tocoo()
+        shift_cells = np.zeros(coo.nnz, dtype=np.int64)
+        for k, (row, col) in enumerate(zip(coo.row, coo.col)):
+            iota = transposed_impulses[row, col]
+            shift_cells[k] = int(round(float(iota) * inverse_step))
+        for cells in np.unique(shift_cells):
+            mask = shift_cells == cells
+            groups[int(cells)] = sp.coo_matrix(
+                (coo.data[mask], (coo.row[mask], coo.col[mask])),
+                shape=base.shape).tocsr()
+        return groups
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(step={self.step}, "
+                f"underflow={self.underflow!r})")

@@ -1,0 +1,372 @@
+"""Sericola's occupation-time algorithm (Section 4.4 of the paper).
+
+Computes the complementary joint distribution
+
+    H_{ij}(t, r) = Pr{ Y_t > r, X_t = j | X_0 = i }
+
+through the uniformisation series
+
+    H(t, r) = sum_{n>=0} psi_n(lambda t)
+              sum_{k=0}^{n} binom(n, k) x_h^k (1 - x_h)^{n-k} C(h, n, k)
+
+where ``rho_0 < rho_1 < ... < rho_m`` are the distinct reward rates,
+``h`` is the reward level with ``rho_{h-1} t <= r < rho_h t`` and
+``x_h = (r - rho_{h-1} t) / ((rho_h - rho_{h-1}) t)`` normalises ``r``
+inside that level [Sericola 2000, Theorem 5.6].
+
+The matrices ``C(h, n, k)`` satisfy, with ``P`` the uniformised DTMC
+matrix and ``rho(i)`` the reward of the *row* state:
+
+* rows with ``rho(i) >= rho_h`` (ascending in ``k``)::
+
+      C(h,n,0) = C(h-1,n,n),                      C(0,n,n) := P^n
+      C(h,n,k) = [ (rho(i) - rho_h)   C(h,n,k-1)
+                 + (rho_h - rho_{h-1}) (P C(h,n-1,k-1)) ]
+                 / (rho(i) - rho_{h-1})
+
+* rows with ``rho(i) <= rho_{h-1}`` (descending in ``k``)::
+
+      C(h,n,n) = C(h+1,n,0),                      C(m+1,n,0) := 0
+      C(h,n,k) = [ (rho_{h-1} - rho(i)) C(h,n,k+1)
+                 + (rho_h - rho_{h-1})  (P C(h,n-1,k)) ]
+                 / (rho_h - rho(i))
+
+Both recursions are convex combinations, which gives the paper's
+stability statement ``0 <= C(h,n,k) <= P^n`` entrywise, and a clean
+a-priori stopping criterion: truncating the outer sum after ``N``
+steps with ``sum_{n<=N} psi_n >= 1 - epsilon`` bounds the error by
+``epsilon`` because every inner sum lies in ``[0, 1]``.
+
+We propagate, instead of the full matrices, the *column aggregate*
+``b(h,n,k) = C(h,n,k) 1_{S'}`` -- the recursion is linear in columns --
+which reduces memory from ``O(N^2 |S|^2)`` (paper) to ``O(N m |S|)``
+and yields the joint probability **for every initial state at once**.
+The special cases reproduce known algorithms: two reward levels {0, 1}
+give the Rubino--Sericola interval-availability scheme.
+
+Unlike the paper (which requires ``rho_0 = 0``), the implementation
+supports any minimal reward: the level-0 boundary ``C(0,n,n) = P^n``
+expresses that a path starting in a state with ``rho(i) > rho_0``
+accumulates more than ``rho_0 t`` with probability one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.signal import lfilter
+
+from repro.algorithms.base import JointEngine, register_engine
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import NumericalError
+from repro.numerics.poisson import poisson_weights, right_truncation_point
+
+
+def _first_order_scan(stay: float, move: float, inputs: np.ndarray,
+                      start: np.ndarray) -> np.ndarray:
+    """Evaluate ``y[k] = stay * y[k-1] + move * inputs[k]`` along axis 0.
+
+    ``y[-1] = start``; returns the array of ``y[0..K-1]`` where ``K``
+    is ``inputs.shape[0]``.  This is a first-order IIR filter, so it
+    runs in C via :func:`scipy.signal.lfilter` -- the inner loop of
+    Sericola's recursion collapses to one filter call per
+    (level, reward-class) pair.
+    """
+    if inputs.shape[0] == 0:
+        return inputs.copy()
+    initial = (stay * start)[None, :]
+    output, _ = lfilter([move], [1.0, -stay], inputs, axis=0,
+                        zi=initial)
+    return output
+
+
+@dataclass(frozen=True)
+class SericolaDiagnostics:
+    """Run statistics of the last computation (exposed for benchmarks)."""
+    truncation_steps: int
+    uniformization_rate: float
+    reward_levels: int
+    level_index: int
+    normalized_bound: float
+
+
+@register_engine
+class SericolaEngine(JointEngine):
+    """Occupation-time engine with an a-priori error bound *epsilon*.
+
+    Parameters
+    ----------
+    epsilon:
+        A-priori bound on the truncation error of the outer
+        uniformisation series (Table 2 of the paper sweeps this knob).
+    uniformization_rate:
+        Optional override of the uniformisation rate ``lambda``
+        (must be at least the maximal exit rate).
+    steady_state_detection:
+        Stop the outer series early once the per-step inner terms have
+        converged (the remaining Poisson mass then multiplies a fixed
+        vector).  This implements the paper's Section 5.4 outlook --
+        "whether some kind of steady-state detection can be employed
+        to shorten the series" -- and pays off when the time bound is
+        large relative to the mixing time.  The detection threshold is
+        tied to ``epsilon``, so the overall accuracy is preserved.
+    """
+
+    name = "sericola"
+
+    def __init__(self,
+                 epsilon: float = 1e-9,
+                 uniformization_rate: Optional[float] = None,
+                 steady_state_detection: bool = False):
+        if not 0.0 < epsilon < 1.0:
+            raise NumericalError(
+                f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.uniformization_rate = uniformization_rate
+        self.steady_state_detection = bool(steady_state_detection)
+        self.last_diagnostics: Optional[SericolaDiagnostics] = None
+
+    # ------------------------------------------------------------------
+
+    def joint_probability_vector(self,
+                                 model: MarkovRewardModel,
+                                 t: float,
+                                 r: float,
+                                 target: Iterable[int]) -> np.ndarray:
+        indicator = self._validate(model, t, r, target)
+        joint, _ = self._series(model, t, r, indicator)
+        return joint
+
+    def complementary_vector(self,
+                             model: MarkovRewardModel,
+                             t: float,
+                             r: float,
+                             indicator: np.ndarray) -> np.ndarray:
+        """``Pr{Y_t > r, X_t in S' | X_0 = i}`` for every i.
+
+        *indicator* is the 0/1 vector of the target set ``S'``.
+        """
+        _, complementary = self._series(model, t, r, indicator)
+        return complementary
+
+    def joint_distribution_matrix(self,
+                                  model: MarkovRewardModel,
+                                  t: float,
+                                  r: float) -> np.ndarray:
+        """The full matrix ``H(t, r)`` of the paper's Theorem 5.6.
+
+        ``H[i, j] = Pr{Y_t > r, X_t = j | X_0 = i}``, reconstructed
+        column by column from the aggregated-vector recursion (each
+        column is one run with a singleton target).  The total cost
+        matches the paper's matrix formulation, O(N^2 m |S|^2); use
+        the vector API whenever only a target *set* matters -- that is
+        the ablation measured in ``bench_ablation_sericola_matrix``.
+        """
+        n = model.num_states
+        columns = []
+        for j in range(n):
+            indicator = np.zeros(n)
+            indicator[j] = 1.0
+            columns.append(self.complementary_vector(model, t, r,
+                                                     indicator))
+        return np.column_stack(columns)
+
+    def _series(self, model: MarkovRewardModel, t: float, r: float,
+                indicator: np.ndarray):
+        """Run the uniformisation series once, accumulating both
+
+        * the joint probability ``Pr{Y_t <= r, X_t in S'}`` as
+          ``sum_n psi_n (u_n - sum_k w_k b(h,n,k))`` -- all terms are
+          non-negative because ``0 <= C(h,n,k) <= P^n``, so truncation
+          converges from *below*, exactly as in Table 2 of the paper
+          ("these can be computed simultaneously with H"), and
+
+        * the complementary probability ``H = Pr{Y_t > r, X_t in S'}``.
+
+        Returns ``(joint, complementary)`` vectors over initial states.
+        """
+        n_states = model.num_states
+        rho = model.rewards
+        if getattr(model, "has_impulse_rewards", False):
+            raise NumericalError(
+                "the occupation-time algorithm handles state-based "
+                "rewards only (paper, Section 2.1); use the "
+                "discretisation or pseudo-Erlang engine for impulse "
+                "rewards")
+        if t == 0.0:
+            # Y_0 = 0 <= r: nothing exceeds the bound.
+            return indicator.astype(float).copy(), np.zeros(n_states)
+
+        levels = np.unique(rho)
+        m = len(levels) - 1
+        if r >= levels[-1] * t:
+            # Y_t <= rho_max * t surely: the bound never binds.
+            transient = self._backward_transient(model, t, indicator)
+            return transient, np.zeros(n_states)
+        if m == 0 or r < levels[0] * t:
+            # Deterministic accumulation above r (single level), or
+            # Y_t >= rho_min * t > r: exceeding is sure.
+            transient = self._backward_transient(model, t, indicator)
+            return np.zeros(n_states), transient
+
+        # Level h with rho_{h-1} t <= r < rho_h t, and normalised bound.
+        h = int(np.searchsorted(levels * t, r, side="right"))
+        x = (r - levels[h - 1] * t) / ((levels[h] - levels[h - 1]) * t)
+
+        rate = (model.max_exit_rate if self.uniformization_rate is None
+                else float(self.uniformization_rate))
+        if rate == 0.0:
+            # No transitions at all: Y_t = rho(i) * t deterministically.
+            exceeding = indicator * (rho * t > r).astype(float)
+            return indicator - exceeding, exceeding
+        matrix = model.uniformized_dtmc_matrix(rate)
+        q = rate * t
+        depth = right_truncation_point(q, self.epsilon)
+        psi = poisson_weights(q, epsilon=min(self.epsilon * 1e-3, 1e-14))
+
+        # Row classes per level g: "high" rows have rho(i) >= rho_g.
+        high_masks = [rho >= levels[g] for g in range(1, m + 1)]
+
+        # b[g-1] holds the (n+1) x n_states array of b(g, n, k) rows.
+        b: List[np.ndarray] = []
+        u = indicator.astype(float).copy()  # u = P^n 1_{S'}
+        for g in range(1, m + 1):
+            row = np.where(high_masks[g - 1], indicator, 0.0)
+            b.append(row.reshape(1, n_states).copy())
+
+        # Binomial mixture weights w[k] = binom(n,k) x^k (1-x)^{n-k}.
+        mix = np.array([1.0])
+
+        complementary = np.zeros(n_states)
+        joint = np.zeros(n_states)
+        inner = mix @ b[h - 1]
+        weight = psi.probability(0)
+        complementary += weight * inner
+        joint += weight * (u - inner)
+
+        detection_tolerance = self.epsilon * 1e-2
+        stable_steps = 0
+        previous_inner = inner
+        previous_u = u
+        steps_used = depth
+
+        # Rows with the same reward share the recursion coefficients,
+        # so each (level, reward-class) pair is one first-order linear
+        # recurrence along k -- evaluated in C by scipy.signal.lfilter.
+        reward_classes = [np.flatnonzero(rho == level)
+                          for level in levels]
+
+        for n in range(1, depth + 1):
+            u_next = matrix @ u
+            # P applied to every b(g, n-1, k) at once: rows k, states j.
+            pb = [(matrix @ b[g].T).T for g in range(m)]
+            new_b = [np.empty((n + 1, n_states)) for _ in range(m)]
+
+            # Pass 1 (ascending g): high rows, ascending k.
+            for g in range(1, m + 1):
+                lo_level, hi_level = levels[g - 1], levels[g]
+                boundary = u_next if g == 1 else new_b[g - 2][n]
+                for j in range(g, m + 1):
+                    rows = reward_classes[j]
+                    if rows.size == 0:
+                        continue
+                    value = levels[j]
+                    stay = (value - hi_level) / (value - lo_level)
+                    move = (hi_level - lo_level) / (value - lo_level)
+                    start = boundary[rows]
+                    new_b[g - 1][0, rows] = start
+                    new_b[g - 1][1:, rows] = _first_order_scan(
+                        stay, move, pb[g - 1][:n, rows], start)
+
+            # Pass 2 (descending g): low rows, descending k.
+            for g in range(m, 0, -1):
+                lo_level, hi_level = levels[g - 1], levels[g]
+                for j in range(0, g):
+                    rows = reward_classes[j]
+                    if rows.size == 0:
+                        continue
+                    value = levels[j]
+                    stay = (lo_level - value) / (hi_level - value)
+                    move = (hi_level - lo_level) / (hi_level - value)
+                    if g == m:
+                        tail = np.zeros(rows.size)
+                    else:
+                        tail = new_b[g][0, rows]
+                    new_b[g - 1][n, rows] = tail
+                    scanned = _first_order_scan(
+                        stay, move, pb[g - 1][:n, rows][::-1], tail)
+                    new_b[g - 1][:n, rows] = scanned[::-1]
+
+            b = new_b
+            u = u_next
+            # Binomial weights: w(n,k) = (1-x) w(n-1,k) + x w(n-1,k-1).
+            new_mix = np.zeros(n + 1)
+            new_mix[:n] = (1.0 - x) * mix
+            new_mix[1:] += x * mix
+            mix = new_mix
+            inner = mix @ b[h - 1]
+            weight = psi.probability(n)
+            if weight > 0.0:
+                complementary += weight * inner
+                joint += weight * (u - inner)
+            if self.steady_state_detection:
+                drift = max(float(np.max(np.abs(inner
+                                                - previous_inner))),
+                            float(np.max(np.abs(u - previous_u))))
+                stable_steps = stable_steps + 1 \
+                    if drift < detection_tolerance else 0
+                if stable_steps >= 3:
+                    # The inner terms have stabilised: the remaining
+                    # Poisson mass multiplies (essentially) the same
+                    # vectors.
+                    remaining_complementary = inner
+                    remaining_joint = u - inner
+                    if n >= psi.left:
+                        mass = float(
+                            psi.weights[n + 1 - psi.left:].sum())
+                    else:
+                        mass = 1.0 - float(
+                            psi.weights[:max(0, n + 1
+                                             - psi.left)].sum())
+                    complementary += mass * remaining_complementary
+                    joint += mass * remaining_joint
+                    steps_used = n
+                    break
+                previous_inner = inner
+                previous_u = u
+
+        self.last_diagnostics = SericolaDiagnostics(
+            truncation_steps=steps_used,
+            uniformization_rate=rate,
+            reward_levels=m + 1,
+            level_index=h,
+            normalized_bound=x)
+        return (np.clip(joint, 0.0, 1.0),
+                np.clip(complementary, 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+
+    def _backward_transient(self,
+                            model: MarkovRewardModel,
+                            t: float,
+                            indicator: np.ndarray) -> np.ndarray:
+        """``Pr{X_t in S' | X_0 = i}`` for every i (backward series)."""
+        rate = (model.max_exit_rate if self.uniformization_rate is None
+                else float(self.uniformization_rate))
+        if rate == 0.0 or t == 0.0:
+            return indicator.astype(float).copy()
+        matrix = model.uniformized_dtmc_matrix(rate)
+        psi = poisson_weights(rate * t,
+                              epsilon=min(self.epsilon * 1e-3, 1e-14))
+        vector = indicator.astype(float).copy()
+        result = np.zeros_like(vector)
+        for k in range(psi.right + 1):
+            if k >= psi.left:
+                result += psi.weights[k - psi.left] * vector
+            if k == psi.right:
+                break
+            vector = matrix @ vector
+        return result

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Examples
+--------
+Check a formula on a model stored in MRMC-style files::
+
+    repro check --model path/to/model --formula "P>0.5 [ F[0,10] red ]"
+
+Run the paper's case study (property Q3, all three engines)::
+
+    repro case-study
+
+Print the case-study SRN and its underlying MRM::
+
+    repro case-study --describe
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms import (DiscretizationEngine, ErlangEngine,
+                              SericolaEngine, available_engines, get_engine)
+from repro.ctmc import io as model_io
+from repro.mc.checker import ModelChecker
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point of the ``repro`` command."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSRL performability model checker "
+                    "(DSN 2002 reproduction)")
+    sub = parser.add_subparsers(dest="command")
+
+    check = sub.add_parser(
+        "check", help="check a CSRL formula on a model from disk")
+    check.add_argument("--model", required=True,
+                       help="base path of the .tra/.lab/.rew files")
+    check.add_argument("--formula", required=True,
+                       help="CSRL state formula, e.g. "
+                            "'P>0.5 [ a U[0,24][0,600] b ]'")
+    check.add_argument("--engine", default="sericola",
+                       choices=available_engines(),
+                       help="engine for time+reward bounded until")
+    check.add_argument("--initial-state", type=int, default=0,
+                       help="0-based initial state index")
+    check.add_argument("--epsilon", type=float, default=1e-9,
+                       help="numerical accuracy")
+    check.set_defaults(handler=_cmd_check)
+
+    case = sub.add_parser(
+        "case-study",
+        help="run the paper's ad hoc network case study (Section 5)")
+    case.add_argument("--describe", action="store_true",
+                      help="print the SRN and MRM instead of checking")
+    case.add_argument("--epsilon", type=float, default=1e-8)
+    case.add_argument("--erlang-phases", type=int, default=256)
+    case.add_argument("--step", type=float, default=1.0 / 64)
+    case.set_defaults(handler=_cmd_case_study)
+
+    engines = sub.add_parser("engines", help="list available engines")
+    engines.set_defaults(handler=_cmd_engines)
+
+    lump = sub.add_parser(
+        "lump", help="bisimulation-minimise a model and report sizes")
+    lump.add_argument("--model", required=True,
+                      help="base path of the .tra/.lab/.rew files")
+    lump.add_argument("--output",
+                      help="base path to write the quotient model to")
+    lump.set_defaults(handler=_cmd_lump)
+
+    dot = sub.add_parser(
+        "export-dot", help="render a model as a Graphviz digraph")
+    dot.add_argument("--model", required=True,
+                     help="base path of the .tra/.lab/.rew files")
+    dot.set_defaults(handler=_cmd_export_dot)
+    return parser
+
+
+def _cmd_check(args) -> int:
+    model = model_io.load_mrm(args.model,
+                              initial_state=args.initial_state)
+    engine = get_engine(args.engine) if args.engine != "sericola" \
+        else SericolaEngine(epsilon=args.epsilon)
+    checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+    result = checker.check(args.formula)
+    print(result)
+    if result.probabilities is not None:
+        for s in range(model.num_states):
+            marker = "*" if s in result.states else " "
+            print(f" {marker} {model.name_of(s):30s} "
+                  f"{result.probabilities[s]:.8f}")
+    print(f"holds initially: {result.holds_initially}")
+    return 0 if result.holds_initially else 1
+
+
+def _cmd_case_study(args) -> int:
+    from repro.models import adhoc
+
+    if args.describe:
+        net = adhoc.build_adhoc_srn()
+        print(net.describe())
+        model = adhoc.adhoc_model()
+        print()
+        print(f"underlying MRM: {model}")
+        for s in range(model.num_states):
+            print(f"  {model.name_of(s):35s} reward "
+                  f"{model.reward(s):6.1f} mA")
+        return 0
+
+    model = adhoc.adhoc_model()
+    checker = ModelChecker(model, epsilon=args.epsilon)
+    initial = int(np.argmax(model.initial_distribution))
+    print(f"model: {model} (initial state "
+          f"{model.name_of(initial)})")
+    for name, formula in (("Q1", adhoc.Q1), ("Q2", adhoc.Q2),
+                          ("Q3", adhoc.Q3)):
+        result = checker.check(formula)
+        print(f"{name}: {formula}")
+        print(f"    probability {result.probability_of(initial):.8f}  "
+              f"-> {'holds' if result.holds_initially else 'does not hold'}"
+              f" in the initial state")
+
+    print()
+    print("Q3 path probability with all three engines "
+          "(paper reference: 0.49540399 +- model reconstruction "
+          "tolerance, see EXPERIMENTS.md):")
+    phi = "call_idle | doze"
+    engines = [
+        ("sericola", SericolaEngine(epsilon=args.epsilon)),
+        ("erlang", ErlangEngine(phases=args.erlang_phases)),
+        ("discretization", DiscretizationEngine(step=args.step)),
+    ]
+    from repro.logic.parser import parse_formula
+    q3 = parse_formula(adhoc.Q3)
+    for name, engine in engines:
+        local = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+        start = time.perf_counter()
+        vector = local.probability_vector(q3.path)
+        elapsed = time.perf_counter() - start
+        print(f"  {name:15s} {vector[initial]:.8f}   "
+              f"({elapsed:7.2f} s)")
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    for name in available_engines():
+        print(name)
+    return 0
+
+
+def _cmd_lump(args) -> int:
+    from repro.ctmc.lumping import lump
+
+    model = model_io.load_mrm(args.model)
+    result = lump(model)
+    print(f"original: {model.num_states} states, "
+          f"{model.num_transitions} transitions")
+    print(f"quotient: {result.quotient.num_states} states, "
+          f"{result.quotient.num_transitions} transitions")
+    for block_index, members in enumerate(result.blocks):
+        if len(members) > 1:
+            names = ", ".join(model.name_of(s) for s in members)
+            print(f"  block {block_index}: {names}")
+    if args.output:
+        model_io.save_mrm(result.quotient, args.output)
+        print(f"quotient written to {args.output}.tra/.lab/.rew")
+    return 0
+
+
+def _cmd_export_dot(args) -> int:
+    from repro.ctmc.export import model_to_dot
+
+    model = model_io.load_mrm(args.model)
+    print(model_to_dot(model))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

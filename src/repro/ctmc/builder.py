@@ -1,0 +1,166 @@
+"""Incremental construction of labelled Markov reward models.
+
+:class:`ModelBuilder` lets models be written down state by state and
+transition by transition with string names, then materialised into an
+immutable :class:`~repro.ctmc.mrm.MarkovRewardModel`:
+
+>>> builder = ModelBuilder()
+>>> builder.add_state("up", labels=("operational",), reward=2.0)
+0
+>>> builder.add_state("down", reward=0.0)
+1
+>>> builder.add_transition("up", "down", 0.1)
+>>> builder.add_transition("down", "up", 2.0)
+>>> model = builder.build(initial_state="up")
+>>> model.num_states
+2
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import ModelError
+
+StateRef = Union[int, str]
+
+
+class ModelBuilder:
+    """Mutable builder producing :class:`MarkovRewardModel` instances."""
+
+    def __init__(self):
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._rewards: List[float] = []
+        self._labels: Dict[str, set] = {}
+        self._transitions: List[Tuple[int, int, float]] = []
+        self._impulses: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Number of states added so far."""
+        return len(self._names)
+
+    def add_state(self,
+                  name: Optional[str] = None,
+                  labels: Iterable[str] = (),
+                  reward: float = 0.0) -> int:
+        """Add a state and return its index.
+
+        Parameters
+        ----------
+        name:
+            Unique name; defaults to ``"s<i>"`` for index ``i``.
+        labels:
+            Atomic propositions holding in the new state.
+        reward:
+            Non-negative reward rate of the new state.
+        """
+        index = len(self._names)
+        if name is None:
+            name = f"s{index}"
+        if name in self._index:
+            raise ModelError(f"duplicate state name {name!r}")
+        if reward < 0.0:
+            raise ModelError(f"state {name!r} has negative reward {reward}")
+        self._names.append(name)
+        self._index[name] = index
+        self._rewards.append(float(reward))
+        for ap in labels:
+            self._labels.setdefault(str(ap), set()).add(index)
+        return index
+
+    def resolve(self, state: StateRef) -> int:
+        """Translate a state name or index into an index."""
+        if isinstance(state, str):
+            try:
+                return self._index[state]
+            except KeyError:
+                raise ModelError(f"unknown state {state!r}") from None
+        index = int(state)
+        if not 0 <= index < len(self._names):
+            raise ModelError(f"state index {index} out of range")
+        return index
+
+    def add_transition(self, source: StateRef, target: StateRef,
+                       rate: float, impulse: float = 0.0) -> None:
+        """Add a transition; parallel transitions accumulate their rates.
+
+        *impulse* is an instantaneous reward earned when the transition
+        fires.  Parallel transitions between the same pair of states
+        must agree on their impulse (a merged CTMC transition can only
+        carry one).
+        """
+        if rate < 0.0:
+            raise ModelError(f"negative transition rate {rate}")
+        if impulse < 0.0:
+            raise ModelError(f"negative impulse reward {impulse}")
+        if rate == 0.0:
+            return
+        key = (self.resolve(source), self.resolve(target))
+        self._transitions.append((key[0], key[1], float(rate)))
+        existing = self._impulses.get(key)
+        if existing is not None and existing != float(impulse):
+            raise ModelError(
+                f"conflicting impulse rewards ({existing} vs {impulse}) "
+                f"on the transition {source!r} -> {target!r}")
+        if impulse > 0.0:
+            self._impulses[key] = float(impulse)
+
+    def add_label(self, state: StateRef, ap: str) -> None:
+        """Attach atomic proposition *ap* to an existing state."""
+        self._labels.setdefault(str(ap), set()).add(self.resolve(state))
+
+    def set_reward(self, state: StateRef, reward: float) -> None:
+        """Overwrite the reward rate of an existing state."""
+        if reward < 0.0:
+            raise ModelError(f"negative reward {reward}")
+        self._rewards[self.resolve(state)] = float(reward)
+
+    # ------------------------------------------------------------------
+
+    def build(self,
+              initial_state: Optional[StateRef] = None,
+              initial_distribution: Optional[Iterable[float]] = None
+              ) -> MarkovRewardModel:
+        """Materialise the model built so far.
+
+        Exactly one of *initial_state* and *initial_distribution* may be
+        given; the default is a point mass on state 0.
+        """
+        n = len(self._names)
+        if n == 0:
+            raise ModelError("cannot build a model with no states")
+        if initial_state is not None and initial_distribution is not None:
+            raise ModelError(
+                "give either initial_state or initial_distribution, not both")
+
+        if self._transitions:
+            rows, cols, vals = zip(*self._transitions)
+            rates = sp.coo_matrix((vals, (rows, cols)),
+                                  shape=(n, n)).tocsr()
+            rates.sum_duplicates()
+        else:
+            rates = sp.csr_matrix((n, n))
+
+        alpha: Optional[np.ndarray]
+        if initial_state is not None:
+            alpha = np.zeros(n)
+            alpha[self.resolve(initial_state)] = 1.0
+        elif initial_distribution is not None:
+            alpha = np.asarray(list(initial_distribution), dtype=float)
+        else:
+            alpha = None
+
+        return MarkovRewardModel(rates,
+                                 rewards=self._rewards,
+                                 labels=self._labels,
+                                 initial_distribution=alpha,
+                                 state_names=self._names,
+                                 impulse_rewards=self._impulses or None)

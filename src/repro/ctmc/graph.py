@@ -1,0 +1,181 @@
+"""Qualitative graph analyses on the transition structure of a CTMC.
+
+These routines ignore rates and only use the adjacency structure.  They
+provide the precomputation steps used by the model checker:
+
+* :func:`reachable` -- forward reachability;
+* :func:`backward_reachable` -- backward reachability, optionally
+  restricted to a set of allowed intermediate states;
+* :func:`strongly_connected_components` / :func:`bottom_sccs` --
+  Tarjan's algorithm (iterative) and the bottom SCCs, which for a CTMC
+  are exactly its recurrence classes;
+* :func:`prob0_states` / :func:`prob1_states` -- the states for which an
+  (unbounded) until formula holds with probability exactly 0 or 1.
+
+All functions accept any object with a scipy CSR ``indptr`` /
+``indices`` pair; a :class:`~repro.ctmc.ctmc.CTMC` can be passed
+directly (its rate matrix is used).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.ctmc import CTMC
+
+
+def _adjacency(model) -> sp.csr_matrix:
+    """Extract a CSR adjacency matrix from a model or matrix."""
+    if isinstance(model, CTMC):
+        return model.rate_matrix
+    if sp.issparse(model):
+        return model.tocsr()
+    return sp.csr_matrix(np.asarray(model))
+
+
+def reachable(model, sources: Iterable[int]) -> Set[int]:
+    """States reachable from any state in *sources* (inclusive)."""
+    adj = _adjacency(model)
+    indptr, indices = adj.indptr, adj.indices
+    seen = set(int(s) for s in sources)
+    stack = list(seen)
+    while stack:
+        s = stack.pop()
+        for t in indices[indptr[s]:indptr[s + 1]]:
+            t = int(t)
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+    return seen
+
+
+def backward_reachable(model,
+                       targets: Iterable[int],
+                       through: "Set[int] | None" = None) -> Set[int]:
+    """States that can reach *targets* (inclusive).
+
+    When *through* is given, only paths whose intermediate states (all
+    states before the target, including the start) lie in *through* are
+    considered; target states themselves are always included.
+    """
+    adj = _adjacency(model).tocsc()
+    indptr, indices = adj.indptr, adj.indices
+    seen = set(int(t) for t in targets)
+    stack = list(seen)
+    while stack:
+        s = stack.pop()
+        for p in indices[indptr[s]:indptr[s + 1]]:
+            p = int(p)
+            if p in seen:
+                continue
+            if through is not None and p not in through:
+                continue
+            seen.add(p)
+            stack.append(p)
+    return seen
+
+
+def strongly_connected_components(model) -> List[Set[int]]:
+    """All SCCs of the transition graph (iterative Tarjan).
+
+    Returned in reverse topological order (every edge leaving an SCC
+    goes to an SCC that appears *earlier* in the list).
+    """
+    adj = _adjacency(model)
+    indptr, indices = adj.indptr, adj.indices
+    n = adj.shape[0]
+
+    index_counter = 0
+    indexes = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: List[int] = []
+    components: List[Set[int]] = []
+
+    for root in range(n):
+        if indexes[root] != -1:
+            continue
+        # Iterative DFS: work items are (node, iterator position).
+        work = [(root, indptr[root])]
+        indexes[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, ptr = work[-1]
+            if ptr < indptr[node + 1]:
+                work[-1] = (node, ptr + 1)
+                succ = int(indices[ptr])
+                if indexes[succ] == -1:
+                    indexes[succ] = lowlink[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, indptr[succ]))
+                elif on_stack[succ]:
+                    lowlink[node] = min(lowlink[node], indexes[succ])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == indexes[node]:
+                    component: Set[int] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+    return components
+
+
+def bottom_sccs(model) -> List[Set[int]]:
+    """The bottom SCCs (no edge leaves them): the recurrence classes."""
+    adj = _adjacency(model)
+    indptr, indices = adj.indptr, adj.indices
+    bottoms = []
+    for component in strongly_connected_components(model):
+        is_bottom = True
+        for s in component:
+            for t in indices[indptr[s]:indptr[s + 1]]:
+                if int(t) not in component:
+                    is_bottom = False
+                    break
+            if not is_bottom:
+                break
+        if is_bottom:
+            bottoms.append(component)
+    return bottoms
+
+
+def prob0_states(model, phi: Set[int], psi: Set[int]) -> Set[int]:
+    """States where ``P(phi U psi) = 0``.
+
+    These are the states from which no psi-state can be reached along
+    phi-states; identifying them lets the numerical until procedures
+    skip work and, crucially, makes the linear system non-singular.
+    """
+    can_reach = backward_reachable(model, psi, through=phi)
+    return set(range(_adjacency(model).shape[0])) - can_reach
+
+
+def prob1_states(model, phi: Set[int], psi: Set[int]) -> Set[int]:
+    """States where ``P(phi U psi) = 1``.
+
+    Standard CTL-style fixpoint: iteratively remove states that can
+    reach, via phi-states, a state with until-probability zero.  (For a
+    CTMC every non-absorbing fair path eventually leaves any transient
+    set, so the qualitative DTMC characterisation applies.)
+    """
+    n = _adjacency(model).shape[0]
+    prob0 = prob0_states(model, phi, psi)
+    # States that can reach prob0 through phi\psi states, i.e. states
+    # with until-probability < 1.
+    through = (phi - psi) - prob0
+    less_than_one = backward_reachable(model, prob0, through=through)
+    return set(range(n)) - less_than_one

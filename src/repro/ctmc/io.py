@@ -1,0 +1,272 @@
+"""Reading and writing MRMC-style model files.
+
+The library uses the plain-text exchange format of the Markov Reward
+Model Checker (MRMC), which is also emitted by PRISM's export commands:
+
+``.tra`` (transitions)::
+
+    STATES 3
+    TRANSITIONS 4
+    1 2 0.5
+    2 1 2.0
+    ...
+
+``.lab`` (state labelling)::
+
+    #DECLARATION
+    green red
+    #END
+    1 green
+    2 green red
+
+``.rew`` (state rewards)::
+
+    1 100
+    3 20
+
+All state indices in the files are 1-based (as in MRMC); in memory the
+library is 0-based.  States without a ``.rew`` line have reward 0.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, TextIO, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.ctmc import CTMC
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import ModelError
+
+PathLike = Union[str, os.PathLike]
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+def read_tra(path: PathLike) -> sp.csr_matrix:
+    """Read a ``.tra`` file and return the rate matrix."""
+    with open(path) as handle:
+        return _read_tra_stream(handle, str(path))
+
+
+def _read_tra_stream(handle: TextIO, origin: str) -> sp.csr_matrix:
+    header: Dict[str, int] = {}
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0].upper() in ("STATES", "TRANSITIONS"):
+            if len(parts) != 2:
+                raise ModelError(
+                    f"{origin}:{lineno}: malformed header line {line!r}")
+            header[parts[0].upper()] = int(parts[1])
+            continue
+        if len(parts) != 3:
+            raise ModelError(
+                f"{origin}:{lineno}: expected 'src dst rate', got {line!r}")
+        rows.append(int(parts[0]) - 1)
+        cols.append(int(parts[1]) - 1)
+        vals.append(float(parts[2]))
+    if "STATES" not in header:
+        raise ModelError(f"{origin}: missing STATES header")
+    n = header["STATES"]
+    if "TRANSITIONS" in header and header["TRANSITIONS"] != len(vals):
+        raise ModelError(
+            f"{origin}: header promises {header['TRANSITIONS']} transitions "
+            f"but {len(vals)} were found")
+    for r, c in zip(rows, cols):
+        if not (0 <= r < n and 0 <= c < n):
+            raise ModelError(
+                f"{origin}: transition ({r + 1}, {c + 1}) outside the "
+                f"{n}-state space")
+    matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    matrix.sum_duplicates()
+    return matrix
+
+
+def read_lab(path: PathLike, num_states: int) -> Dict[str, Set[int]]:
+    """Read a ``.lab`` file and return the labelling map."""
+    labels: Dict[str, Set[int]] = {}
+    declared: Optional[List[str]] = None
+    in_declaration = False
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.upper() == "#DECLARATION":
+                in_declaration = True
+                declared = []
+                continue
+            if line.upper() == "#END":
+                in_declaration = False
+                continue
+            if in_declaration:
+                declared.extend(line.split())
+                continue
+            parts = line.split()
+            state = int(parts[0]) - 1
+            if not 0 <= state < num_states:
+                raise ModelError(
+                    f"{path}:{lineno}: state {parts[0]} outside the "
+                    f"{num_states}-state space")
+            for ap in parts[1:]:
+                if declared is not None and ap not in declared:
+                    raise ModelError(
+                        f"{path}:{lineno}: proposition {ap!r} not declared")
+                labels.setdefault(ap, set()).add(state)
+    if declared is not None:
+        for ap in declared:
+            labels.setdefault(ap, set())
+    return labels
+
+
+def read_rew(path: PathLike, num_states: int) -> np.ndarray:
+    """Read a ``.rew`` file and return the reward vector."""
+    rewards = np.zeros(num_states)
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("%") or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ModelError(
+                    f"{path}:{lineno}: expected 'state reward', "
+                    f"got {line!r}")
+            state = int(parts[0]) - 1
+            if not 0 <= state < num_states:
+                raise ModelError(
+                    f"{path}:{lineno}: state {parts[0]} outside the "
+                    f"{num_states}-state space")
+            rewards[state] = float(parts[1])
+    return rewards
+
+
+def read_rewi(path: PathLike, num_states: int) -> Dict[Tuple[int, int],
+                                                       float]:
+    """Read a ``.rewi`` (transition/impulse rewards) file.
+
+    Lines have the form ``source target reward`` with 1-based indices,
+    as in MRMC's impulse-reward format.
+    """
+    impulses: Dict[Tuple[int, int], float] = {}
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("%") or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ModelError(
+                    f"{path}:{lineno}: expected 'src dst reward', "
+                    f"got {line!r}")
+            source, target = int(parts[0]) - 1, int(parts[1]) - 1
+            for state in (source, target):
+                if not 0 <= state < num_states:
+                    raise ModelError(
+                        f"{path}:{lineno}: state {state + 1} outside "
+                        f"the {num_states}-state space")
+            impulses[(source, target)] = float(parts[2])
+    return impulses
+
+
+def load_mrm(base: PathLike,
+             initial_state: int = 0) -> MarkovRewardModel:
+    """Load ``<base>.tra`` (+ optional ``.lab``, ``.rew``, ``.rewi``)
+    as an MRM.
+
+    Parameters
+    ----------
+    base:
+        Path without extension; ``base + ".tra"`` must exist, the
+        labelling / state-reward / impulse-reward files are optional.
+    initial_state:
+        0-based index of the initial state (the file format carries no
+        initial distribution).
+    """
+    base = str(base)
+    rates = read_tra(base + ".tra")
+    n = rates.shape[0]
+    labels = (read_lab(base + ".lab", n)
+              if os.path.exists(base + ".lab") else {})
+    rewards = (read_rew(base + ".rew", n)
+               if os.path.exists(base + ".rew") else None)
+    impulses = (read_rewi(base + ".rewi", n)
+                if os.path.exists(base + ".rewi") else None)
+    alpha = np.zeros(n)
+    if not 0 <= initial_state < n:
+        raise ModelError(f"initial state {initial_state} out of range")
+    alpha[initial_state] = 1.0
+    return MarkovRewardModel(rates, rewards=rewards, labels=labels,
+                             initial_distribution=alpha,
+                             impulse_rewards=impulses)
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+def write_tra(model: CTMC, path: PathLike) -> None:
+    """Write the rate matrix of *model* as a ``.tra`` file."""
+    matrix = model.rate_matrix.tocoo()
+    with open(path, "w") as handle:
+        handle.write(f"STATES {model.num_states}\n")
+        handle.write(f"TRANSITIONS {matrix.nnz}\n")
+        order = np.lexsort((matrix.col, matrix.row))
+        for k in order:
+            handle.write(f"{matrix.row[k] + 1} {matrix.col[k] + 1} "
+                         f"{float(matrix.data[k])!r}\n")
+
+
+def write_lab(model: CTMC, path: PathLike) -> None:
+    """Write the labelling of *model* as a ``.lab`` file."""
+    props = model.atomic_propositions
+    per_state: List[List[str]] = [[] for _ in range(model.num_states)]
+    for ap in props:
+        for state in sorted(model.states_with(ap)):
+            per_state[state].append(ap)
+    with open(path, "w") as handle:
+        handle.write("#DECLARATION\n")
+        handle.write(" ".join(props) + "\n")
+        handle.write("#END\n")
+        for state, aps in enumerate(per_state):
+            if aps:
+                handle.write(f"{state + 1} " + " ".join(aps) + "\n")
+
+
+def write_rew(model: MarkovRewardModel, path: PathLike) -> None:
+    """Write the reward structure of *model* as a ``.rew`` file."""
+    with open(path, "w") as handle:
+        for state, reward in enumerate(model.rewards):
+            if reward != 0.0:
+                handle.write(f"{state + 1} {float(reward)!r}\n")
+
+
+def write_rewi(model: MarkovRewardModel, path: PathLike) -> None:
+    """Write the impulse rewards of *model* as a ``.rewi`` file."""
+    impulses = model.impulse_matrix.tocoo()
+    with open(path, "w") as handle:
+        order = np.lexsort((impulses.col, impulses.row))
+        for k in order:
+            handle.write(f"{impulses.row[k] + 1} {impulses.col[k] + 1} "
+                         f"{float(impulses.data[k])!r}\n")
+
+
+def save_mrm(model: MarkovRewardModel, base: PathLike) -> None:
+    """Write ``<base>.tra``, ``.lab``, ``.rew`` (and ``.rewi`` when the
+    model has impulse rewards)."""
+    base = str(base)
+    write_tra(model, base + ".tra")
+    write_lab(model, base + ".lab")
+    write_rew(model, base + ".rew")
+    if model.has_impulse_rewards:
+        write_rewi(model, base + ".rewi")

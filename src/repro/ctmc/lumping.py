@@ -1,0 +1,198 @@
+"""Ordinary lumpability (strong bisimulation) for Markov reward models.
+
+Two states are bisimilar when they carry the same atomic propositions
+and the same reward rate, and have identical cumulative rates into
+every equivalence class.  The quotient MRM is equivalent for all CSRL
+formulas over the preserved propositions, so checking can run on the
+(often much smaller) lumped model -- the standard state-space
+reduction of CSL/CSRL checkers such as MRMC.
+
+The partition-refinement algorithm here is the classic
+split-until-stable scheme: start from the partition induced by
+(labels, reward), then repeatedly split blocks whose members differ in
+their total rate into some block, until no splitter exists.  With
+hashing on rate signatures each pass is O(|S| + nnz); the number of
+passes is bounded by the number of blocks produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Lumping:
+    """Result of :func:`lump`.
+
+    Attributes
+    ----------
+    quotient:
+        The lumped MRM; state ``b`` represents block ``b``.
+    block_of:
+        Array mapping each original state to its block index.
+    blocks:
+        For each block, the sorted list of original member states.
+    """
+    quotient: MarkovRewardModel
+    block_of: np.ndarray
+    blocks: List[List[int]]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def lift(self, block_vector: Sequence[float]) -> np.ndarray:
+        """Expand a per-block vector to a per-original-state vector."""
+        values = np.asarray(block_vector, dtype=float)
+        return values[self.block_of]
+
+    def lift_set(self, block_set) -> "frozenset[int]":
+        """Expand a set of block indices to original state indices."""
+        members: List[int] = []
+        for block in block_set:
+            members.extend(self.blocks[block])
+        return frozenset(members)
+
+
+def _initial_partition(model: MarkovRewardModel,
+                       respect_labels: Optional[Sequence[str]]
+                       ) -> np.ndarray:
+    """Partition by (labelling restricted to *respect_labels*, reward)."""
+    if respect_labels is None:
+        respect_labels = model.atomic_propositions
+    signatures: Dict[Tuple, int] = {}
+    block_of = np.zeros(model.num_states, dtype=np.int64)
+    for s in range(model.num_states):
+        signature = (tuple(sorted(ap for ap in respect_labels
+                                  if s in model.states_with(ap))),
+                     float(model.reward(s)))
+        block_of[s] = signatures.setdefault(signature, len(signatures))
+    return block_of
+
+
+def lump(model: MarkovRewardModel,
+         respect_labels: Optional[Sequence[str]] = None,
+         respect_initial: bool = True,
+         tolerance: float = 1e-12) -> Lumping:
+    """Compute the coarsest ordinary lumping of *model*.
+
+    Parameters
+    ----------
+    model:
+        The MRM to minimise.
+    respect_labels:
+        Atomic propositions that must be preserved (default: all).
+        Propositions not listed are dropped from the quotient.
+    respect_initial:
+        Additionally separate states by their initial probability, so
+        the quotient carries a well-defined initial distribution.
+        (Without this, states with different initial mass may merge
+        and only per-state results remain meaningful.)
+    tolerance:
+        Rates whose difference is below *tolerance* count as equal.
+    """
+    n = model.num_states
+    if respect_labels is None:
+        respect_labels = model.atomic_propositions
+    block_of = _initial_partition(model, respect_labels)
+    if respect_initial:
+        refinement: Dict[Tuple, int] = {}
+        refined = np.zeros(n, dtype=np.int64)
+        for s in range(n):
+            key = (int(block_of[s]),
+                   round(float(model.initial_distribution[s]) /
+                         max(tolerance, 1e-30)))
+            refined[s] = refinement.setdefault(key, len(refinement))
+        block_of = refined
+
+    matrix = model.rate_matrix
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+
+    # Refine until stable: signature of s = multiset of
+    # (block(target), total rate into that block).
+    while True:
+        signatures: Dict[Tuple, int] = {}
+        refined = np.zeros(n, dtype=np.int64)
+        for s in range(n):
+            into: Dict[int, float] = {}
+            for ptr in range(indptr[s], indptr[s + 1]):
+                target_block = int(block_of[indices[ptr]])
+                into[target_block] = into.get(target_block, 0.0) \
+                    + float(data[ptr])
+            rate_signature = tuple(sorted(
+                (block, round(rate / tolerance))
+                for block, rate in into.items()))
+            key = (int(block_of[s]), rate_signature)
+            refined[s] = signatures.setdefault(key, len(signatures))
+        if len(signatures) == len(np.unique(block_of)):
+            break
+        block_of = refined
+
+    # Canonicalise block numbering by smallest member state.
+    order = {}
+    for s in range(n):
+        order.setdefault(int(block_of[s]), s)
+    ranked = sorted(order, key=order.get)
+    renumber = {old: new for new, old in enumerate(ranked)}
+    block_of = np.array([renumber[int(b)] for b in block_of],
+                        dtype=np.int64)
+
+    blocks: List[List[int]] = [[] for _ in range(len(ranked))]
+    for s in range(n):
+        blocks[block_of[s]].append(s)
+
+    quotient = _build_quotient(model, block_of, blocks, respect_labels)
+    return Lumping(quotient=quotient, block_of=block_of, blocks=blocks)
+
+
+def _build_quotient(model: MarkovRewardModel,
+                    block_of: np.ndarray,
+                    blocks: List[List[int]],
+                    respect_labels: Sequence[str]) -> MarkovRewardModel:
+    k = len(blocks)
+    representatives = [members[0] for members in blocks]
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    matrix = model.rate_matrix
+    for b, representative in enumerate(representatives):
+        row = matrix.getrow(representative)
+        into: Dict[int, float] = {}
+        for target, rate in zip(row.indices, row.data):
+            target_block = int(block_of[target])
+            into[target_block] = into.get(target_block, 0.0) + float(rate)
+        for target_block, rate in into.items():
+            rows.append(b)
+            cols.append(target_block)
+            vals.append(rate)
+    rates = sp.coo_matrix((vals, (rows, cols)), shape=(k, k)).tocsr()
+
+    rewards = [model.reward(representative)
+               for representative in representatives]
+    alpha = np.zeros(k)
+    for s, mass in enumerate(model.initial_distribution):
+        alpha[block_of[s]] += mass
+    if not np.isclose(alpha.sum(), 1.0):
+        raise ModelError("lumping lost initial probability mass")
+
+    labels = {ap: {int(block_of[s]) for s in model.states_with(ap)
+                   if ap in respect_labels}
+              for ap in respect_labels}
+    names = None
+    if model.state_names is not None:
+        names = ["{" + "+".join(model.name_of(s) for s in members[:3])
+                 + ("+..." if len(members) > 3 else "") + "}"
+                 for members in blocks]
+        if len(set(names)) != len(names):
+            names = [f"{name}#{i}" for i, name in enumerate(names)]
+    return MarkovRewardModel(rates, rewards=rewards, labels=labels,
+                             initial_distribution=alpha,
+                             state_names=names)

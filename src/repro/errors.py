@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch one base class.  Specific subclasses distinguish
+modelling errors (bad input models), logic errors (bad formulas) and
+numerical failures (non-convergence, invalid tolerances).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An input model (CTMC, MRM, SRN) is malformed or inconsistent."""
+
+
+class StateSpaceError(ModelError):
+    """State-space generation failed (e.g. unbounded net, limit hit)."""
+
+
+class RewardError(ModelError):
+    """A reward structure violates a precondition of an algorithm."""
+
+
+class FormulaError(ReproError):
+    """A CSRL formula is syntactically or semantically invalid."""
+
+
+class ParseError(FormulaError):
+    """The CSRL text parser rejected its input.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which the error was detected,
+        or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedFormulaError(FormulaError):
+    """The formula is well-formed but outside the decidable fragment."""
+
+
+class NumericalError(ReproError):
+    """A numerical procedure failed (divergence, invalid tolerance...)."""
+
+
+class ConvergenceError(NumericalError):
+    """An iterative solver exhausted its iteration budget."""
+
+    def __init__(self, message: str, iterations: "int | None" = None,
+                 residual: "float | None" = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

@@ -1,0 +1,34 @@
+"""The continuous stochastic reward logic (CSRL).
+
+This package defines the formula language of the library:
+
+* :mod:`~repro.logic.intervals` -- closed intervals used as time and
+  reward bounds;
+* :mod:`~repro.logic.ast` -- the abstract syntax of CSRL state and path
+  formulas (immutable, hashable, structurally comparable);
+* :mod:`~repro.logic.lexer` / :mod:`~repro.logic.parser` -- a concrete
+  text syntax, e.g. ``P>0.5 [ (call_idle | doze) U[0,24][0,600]
+  call_initiated ]``;
+* :mod:`~repro.logic.sugar` -- convenience constructors (``ap``,
+  ``prob``, ``until``, ``eventually``, ...).
+
+The grammar implemented here follows Section 2.2 of the paper, with the
+steady-state operator of CSL added back in and the usual derived
+operators (conjunction, implication, ``true``/``false``, eventually,
+globally) as sugar.
+"""
+
+from repro.logic.intervals import Interval
+from repro.logic.ast import (StateFormula, PathFormula, Atomic, TrueFormula,
+                             FalseFormula, Not, And, Or, Implies, Prob,
+                             SteadyState, Next, Until, Eventually, Globally,
+                             TRUE, FALSE)
+from repro.logic.parser import parse_formula
+from repro.logic import sugar
+
+__all__ = [
+    "Interval", "StateFormula", "PathFormula", "Atomic", "TrueFormula",
+    "FalseFormula", "Not", "And", "Or", "Implies", "Prob", "SteadyState",
+    "Next", "Until", "Eventually", "Globally", "TRUE", "FALSE",
+    "parse_formula", "sugar",
+]

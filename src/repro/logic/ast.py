@@ -1,0 +1,425 @@
+"""Abstract syntax of CSRL formulas.
+
+Two syntactic categories, as in Section 2.2 of the paper:
+
+* *state formulas* ``Phi ::= a | !Phi | Phi | Phi | P<|p(phi) | S<|p(Phi)``
+* *path formulas* ``phi ::= X_I^J Phi | Phi U_I^J Phi``
+
+where ``I`` is a time interval and ``J`` a reward interval.  Derived
+forms (``true``, ``false``, conjunction, implication, eventually,
+globally) are first-class nodes so that formulas print the way users
+wrote them; the model checker normalises them away.
+
+All nodes are immutable and structurally hashable, so formulas can be
+used as dictionary keys (the checker memoises satisfaction sets per
+subformula).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.errors import FormulaError
+from repro.logic.intervals import Interval
+
+#: The comparison operators allowed in probability bounds.
+COMPARISONS = ("<", "<=", ">", ">=")
+
+
+def _check_comparison(comparison: str) -> None:
+    if comparison not in COMPARISONS:
+        raise FormulaError(
+            f"comparison must be one of {COMPARISONS}, got {comparison!r}")
+
+
+def _check_probability(bound: float) -> None:
+    if not 0.0 <= bound <= 1.0:
+        raise FormulaError(f"probability bound must be in [0,1], "
+                           f"got {bound}")
+
+
+def compare(value: float, comparison: str, bound: float) -> bool:
+    """Evaluate ``value <comparison> bound``."""
+    if comparison == "<":
+        return value < bound
+    if comparison == "<=":
+        return value <= bound
+    if comparison == ">":
+        return value > bound
+    if comparison == ">=":
+        return value >= bound
+    raise FormulaError(f"unknown comparison {comparison!r}")
+
+
+class Formula:
+    """Common base of state and path formulas."""
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Depth-first iterator over this formula and all subformulas."""
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Direct subformulas (overridden by composite nodes)."""
+        return ()
+
+    def atomic_propositions(self) -> "set[str]":
+        """All atomic propositions mentioned anywhere in the formula."""
+        return {node.name for node in self.subformulas()
+                if isinstance(node, Atomic)}
+
+
+class StateFormula(Formula):
+    """Base class of state formulas."""
+
+    # Operator sugar so formulas can be combined in Python directly:
+    def __and__(self, other: "StateFormula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "StateFormula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def implies(self, other: "StateFormula") -> "Implies":
+        return Implies(self, other)
+
+
+class PathFormula(Formula):
+    """Base class of path formulas."""
+
+
+# ----------------------------------------------------------------------
+# state formulas
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Atomic(StateFormula):
+    """An atomic proposition, e.g. ``call_idle``."""
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not all(
+                c.isalnum() or c == "_" for c in self.name):
+            raise FormulaError(
+                f"invalid atomic proposition name {self.name!r}")
+        if self.name[0].isdigit():
+            raise FormulaError(
+                f"proposition name must not start with a digit: "
+                f"{self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TrueFormula(StateFormula):
+    """The formula ``true`` (holds in every state)."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(StateFormula):
+    """The formula ``false`` (holds in no state)."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+#: Singleton instances for convenience.
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Not(StateFormula):
+    """Negation ``!Phi``."""
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(StateFormula):
+    """Conjunction ``Phi & Psi`` (derived operator)."""
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} & {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(StateFormula):
+    """Disjunction ``Phi | Psi``."""
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} | {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Implies(StateFormula):
+    """Implication ``Phi => Psi`` (derived operator)."""
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} => {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Prob(StateFormula):
+    """The probabilistic path quantifier ``P <|p [ phi ]``.
+
+    Holds in state ``s`` iff the probability measure of the paths from
+    ``s`` satisfying *path* meets ``comparison bound``.
+    """
+    comparison: str
+    bound: float
+    path: PathFormula
+
+    def __post_init__(self):
+        _check_comparison(self.comparison)
+        _check_probability(self.bound)
+
+    def children(self):
+        return (self.path,)
+
+    def __str__(self) -> str:
+        return f"P{self.comparison}{_num(self.bound)} [ {self.path} ]"
+
+
+@dataclass(frozen=True)
+class SteadyState(StateFormula):
+    """The steady-state operator ``S <|p [ Phi ]`` of CSL.
+
+    Holds in ``s`` iff the steady-state probability of the
+    *operand*-states, starting from ``s``, meets ``comparison bound``.
+    (The paper omits this operator; it is included for completeness,
+    with the procedure of Baier et al.)
+    """
+    comparison: str
+    bound: float
+    operand: StateFormula
+
+    def __post_init__(self):
+        _check_comparison(self.comparison)
+        _check_probability(self.bound)
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"S{self.comparison}{_num(self.bound)} [ {self.operand} ]"
+
+
+def _check_reward_bound(bound: float) -> None:
+    if bound < 0.0:
+        raise FormulaError(
+            f"expected-reward bound must be >= 0, got {bound}")
+
+
+class RewardQuery(Formula):
+    """Base class of the argument forms of the ``R`` operator."""
+
+
+@dataclass(frozen=True)
+class InstantaneousReward(RewardQuery):
+    """``I=t``: the expected reward rate at time ``t``."""
+    time: float
+
+    def __post_init__(self):
+        if self.time < 0.0:
+            raise FormulaError(f"time must be >= 0, got {self.time}")
+
+    def __str__(self) -> str:
+        from repro.logic.intervals import _fmt
+        return f"I={_fmt(self.time)}"
+
+
+@dataclass(frozen=True)
+class CumulativeReward(RewardQuery):
+    """``C<=t``: the expected reward accumulated up to time ``t``."""
+    time: float
+
+    def __post_init__(self):
+        if self.time < 0.0:
+            raise FormulaError(f"time must be >= 0, got {self.time}")
+
+    def __str__(self) -> str:
+        from repro.logic.intervals import _fmt
+        return f"C<={_fmt(self.time)}"
+
+
+@dataclass(frozen=True)
+class SteadyStateReward(RewardQuery):
+    """``S``: the long-run average reward rate."""
+
+    def __str__(self) -> str:
+        return "S"
+
+
+@dataclass(frozen=True)
+class ReachabilityReward(RewardQuery):
+    """``F Phi``: the expected reward accumulated until a Phi-state is
+    reached (infinite where that does not happen almost surely)."""
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"F {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Reward(StateFormula):
+    """The expected-reward operator ``R <|b [ query ]``.
+
+    Not part of the paper's CSRL (it is the ``R`` operator popularised
+    by PRISM); included because the classic performability first
+    moments fall out of the same machinery.  Holds in state ``s`` iff
+    the expected value of *query* from ``s`` meets ``comparison
+    bound``.
+    """
+    comparison: str
+    bound: float
+    query: RewardQuery
+
+    def __post_init__(self):
+        _check_comparison(self.comparison)
+        _check_reward_bound(self.bound)
+
+    def children(self):
+        return (self.query,)
+
+    def __str__(self) -> str:
+        return f"R{self.comparison}{_num(self.bound)} [ {self.query} ]"
+
+
+# ----------------------------------------------------------------------
+# path formulas
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Next(PathFormula):
+    """``X_I^J Phi``: the first transition leads to a *Phi*-state, at a
+    time in *time* having earned a reward in *reward*."""
+    operand: StateFormula
+    time: Interval = field(default_factory=Interval.unbounded)
+    reward: Interval = field(default_factory=Interval.unbounded)
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"X{_bounds(self.time, self.reward)} {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Until(PathFormula):
+    """``Phi U_I^J Psi``: a *Psi*-state is reached at a time in *time*
+    with accumulated reward in *reward*, with only *Phi*-states before."""
+    left: StateFormula
+    right: StateFormula
+    time: Interval = field(default_factory=Interval.unbounded)
+    reward: Interval = field(default_factory=Interval.unbounded)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return (f"{_paren(self.left)} U{_bounds(self.time, self.reward)} "
+                f"{_paren(self.right)}")
+
+
+@dataclass(frozen=True)
+class Eventually(PathFormula):
+    """``F_I^J Phi``, sugar for ``true U_I^J Phi`` (written ``<>`` in
+    the paper)."""
+    operand: StateFormula
+    time: Interval = field(default_factory=Interval.unbounded)
+    reward: Interval = field(default_factory=Interval.unbounded)
+
+    def children(self):
+        return (self.operand,)
+
+    def as_until(self) -> Until:
+        """The desugared form ``true U_I^J Phi``."""
+        return Until(TRUE, self.operand, self.time, self.reward)
+
+    def __str__(self) -> str:
+        return f"F{_bounds(self.time, self.reward)} {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Globally(PathFormula):
+    """``G_I^J Phi``: *Phi* holds along the whole (bounded) prefix.
+
+    Not primitive in CSRL; the checker handles it through the duality
+    ``P>=p(G phi) = P<=1-p(F !phi)``.
+    """
+    operand: StateFormula
+    time: Interval = field(default_factory=Interval.unbounded)
+    reward: Interval = field(default_factory=Interval.unbounded)
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"G{_bounds(self.time, self.reward)} {_paren(self.operand)}"
+
+
+# ----------------------------------------------------------------------
+# printing helpers
+# ----------------------------------------------------------------------
+
+_ATOMIC_NODES = (Atomic, TrueFormula, FalseFormula, Not, Prob, SteadyState)
+
+
+def _paren(formula: Formula) -> str:
+    """Parenthesise composite operands for unambiguous printing."""
+    if isinstance(formula, _ATOMIC_NODES):
+        return str(formula)
+    return f"({formula})"
+
+
+def _num(value: float) -> str:
+    if value == int(value):
+        return str(value)  # keep '0.5' style floats as-is via str
+    return repr(value)
+
+
+def _bounds(time: Interval, reward: Interval) -> str:
+    """Render the ``I``/``J`` annotations of a temporal operator.
+
+    A trivial time interval in front of a reward bound is printed in
+    the parsable form ``[0,inf]`` (the bare ``[0,inf)`` notation is for
+    standalone display only).
+    """
+    if time.is_trivial and reward.is_trivial:
+        return ""
+    if reward.is_trivial:
+        return str(time)
+    time_text = "[0,inf]" if time.is_trivial else str(time)
+    return f"{time_text}{reward}"

@@ -1,0 +1,103 @@
+"""Closed intervals over the non-negative reals, used as CSRL bounds.
+
+The paper restricts the computational procedures to downward-closed
+intervals ``[0, b]`` (possibly with ``b = inf``); the data structure is
+general so that formulas with arbitrary bounds can at least be
+represented, printed and -- where procedures exist (the NEXT operator)
+-- checked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[lower, upper]`` with ``0 <= lower <= upper``.
+
+    ``upper`` may be ``math.inf``.  The default instance is the trivial
+    bound ``[0, inf)``, which constrains nothing.
+    """
+
+    lower: float = 0.0
+    upper: float = math.inf
+
+    def __post_init__(self):
+        if math.isnan(self.lower) or math.isnan(self.upper):
+            raise FormulaError("interval bounds must not be NaN")
+        if self.lower < 0.0:
+            raise FormulaError(
+                f"interval lower bound must be >= 0, got {self.lower}")
+        if self.lower > self.upper:
+            raise FormulaError(
+                f"empty interval [{self.lower}, {self.upper}]")
+        if math.isinf(self.lower):
+            raise FormulaError("interval lower bound must be finite")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def unbounded() -> "Interval":
+        """The trivial interval ``[0, inf)``."""
+        return Interval(0.0, math.inf)
+
+    @staticmethod
+    def upto(bound: float) -> "Interval":
+        """The downward-closed interval ``[0, bound]``."""
+        return Interval(0.0, float(bound))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for ``[0, inf)`` -- the bound constrains nothing."""
+        return self.lower == 0.0 and math.isinf(self.upper)
+
+    @property
+    def is_downward_closed(self) -> bool:
+        """True when the interval has the form ``[0, b]``."""
+        return self.lower == 0.0
+
+    @property
+    def is_point(self) -> bool:
+        """True for singleton intervals ``[b, b]``."""
+        return self.lower == self.upper
+
+    def contains(self, value: float) -> bool:
+        """Membership test ``value in [lower, upper]``."""
+        return self.lower <= value <= self.upper
+
+    __contains__ = contains
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The intersection, or ``None`` when it is empty."""
+        lower = max(self.lower, other.lower)
+        upper = min(self.upper, other.upper)
+        if lower > upper:
+            return None
+        return Interval(lower, upper)
+
+    def scaled(self, factor: float) -> "Interval":
+        """The interval with both bounds multiplied by *factor* > 0."""
+        if factor <= 0.0:
+            raise FormulaError("interval scale factor must be positive")
+        return Interval(self.lower * factor,
+                        self.upper if math.isinf(self.upper)
+                        else self.upper * factor)
+
+    def __str__(self) -> str:
+        if self.is_trivial:
+            return "[0,inf)"
+        upper = "inf" if math.isinf(self.upper) else _fmt(self.upper)
+        return f"[{_fmt(self.lower)},{upper}]"
+
+
+def _fmt(value: float) -> str:
+    """Render a bound without a spurious trailing ``.0``."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,269 @@
+"""Recursive-descent parser for the CSRL concrete syntax.
+
+Grammar (in decreasing binding strength)::
+
+    state    := implies
+    implies  := or ( '=>' implies )?                 (right associative)
+    or       := and ( ('|' | '||') and )*
+    and      := unary ( ('&' | '&&') unary )*
+    unary    := ('!' | '~') unary | primary
+    primary  := 'true' | 'false' | IDENT
+              | '(' state ')'
+              | 'P' CMP NUMBER body(path)
+              | 'S' CMP NUMBER body(state)
+    body(x)  := '[' x ']' | '(' x ')'
+    path     := 'X' bounds state
+              | 'F' bounds state
+              | 'G' bounds state
+              | state 'U' bounds state
+    bounds   := interval interval? | '<=' NUMBER | (empty)
+    interval := '[' NUMBER ',' (NUMBER | 'inf') ']'
+
+The first interval of a temporal operator is the *time* bound ``I``,
+the second the *reward* bound ``J`` (as in ``U[0,24][0,600]``); the
+short form ``U<=24`` abbreviates ``U[0,24]``.
+
+Examples
+--------
+>>> parse_formula("P>0.5 [ (call_idle | doze) U[0,24][0,600] call_initiated ]")
+... # doctest: +ELLIPSIS
+Prob(...)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.logic import ast
+from repro.logic.intervals import Interval
+from repro.logic.lexer import Token, tokenize
+
+
+def parse_formula(source: str) -> ast.StateFormula:
+    """Parse *source* into a CSRL state formula."""
+    parser = _Parser(tokenize(source))
+    formula = _wrap_semantic_errors(parser.parse_state)
+    parser.expect("EOF")
+    return formula
+
+
+def parse_path_formula(source: str) -> ast.PathFormula:
+    """Parse *source* into a CSRL path formula (for testing and tools)."""
+    parser = _Parser(tokenize(source))
+    path = _wrap_semantic_errors(parser.parse_path)
+    parser.expect("EOF")
+    return path
+
+
+def _wrap_semantic_errors(production):
+    """Re-raise node-construction errors (bad bounds, empty intervals)
+    as parse errors, so callers see a single exception type."""
+    from repro.errors import FormulaError
+    try:
+        return production()
+    except ParseError:
+        raise
+    except FormulaError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+class _Parser:
+    """Stateful cursor over the token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token utilities ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None
+               ) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want}, found {self.current.text!r}",
+                position=self.current.position)
+        return self.advance()
+
+    def fail(self, message: str) -> "ParseError":
+        return ParseError(message, position=self.current.position)
+
+    # -- state formulas ---------------------------------------------------
+
+    def parse_state(self) -> ast.StateFormula:
+        return self._parse_implies()
+
+    def _parse_implies(self) -> ast.StateFormula:
+        left = self._parse_or()
+        if self.accept("IMPLIES"):
+            right = self._parse_implies()
+            return ast.Implies(left, right)
+        return left
+
+    def _parse_or(self) -> ast.StateFormula:
+        left = self._parse_and()
+        while self.accept("OR"):
+            left = ast.Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.StateFormula:
+        left = self._parse_unary()
+        while self.accept("AND"):
+            left = ast.And(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.StateFormula:
+        if self.accept("NOT"):
+            return ast.Not(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.StateFormula:
+        token = self.current
+        if token.kind == "KEYWORD":
+            if token.text == "true":
+                self.advance()
+                return ast.TRUE
+            if token.text == "false":
+                self.advance()
+                return ast.FALSE
+            if token.text == "P":
+                return self._parse_prob()
+            if token.text == "S":
+                return self._parse_steady()
+            if token.text == "R":
+                return self._parse_reward()
+            raise self.fail(
+                f"keyword {token.text!r} cannot start a state formula")
+        if token.kind == "IDENT":
+            self.advance()
+            return ast.Atomic(token.text)
+        if self.accept("LPAREN"):
+            inner = self.parse_state()
+            self.expect("RPAREN")
+            return inner
+        raise self.fail(
+            f"expected a state formula, found {token.text or 'end of input'!r}")
+
+    def _parse_comparison_bound(self) -> Tuple[str, float]:
+        comparison = self.expect("CMP").text
+        bound = self._parse_number()
+        return comparison, bound
+
+    def _parse_prob(self) -> ast.Prob:
+        self.expect("KEYWORD", "P")
+        comparison, bound = self._parse_comparison_bound()
+        open_kind = "LBRACKET" if self.check("LBRACKET") else "LPAREN"
+        close_kind = "RBRACKET" if open_kind == "LBRACKET" else "RPAREN"
+        self.expect(open_kind)
+        path = self.parse_path()
+        self.expect(close_kind)
+        return ast.Prob(comparison, bound, path)
+
+    def _parse_steady(self) -> ast.SteadyState:
+        self.expect("KEYWORD", "S")
+        comparison, bound = self._parse_comparison_bound()
+        open_kind = "LBRACKET" if self.check("LBRACKET") else "LPAREN"
+        close_kind = "RBRACKET" if open_kind == "LBRACKET" else "RPAREN"
+        self.expect(open_kind)
+        operand = self.parse_state()
+        self.expect(close_kind)
+        return ast.SteadyState(comparison, bound, operand)
+
+    def _parse_reward(self) -> ast.Reward:
+        self.expect("KEYWORD", "R")
+        comparison = self.expect("CMP").text
+        bound = self._parse_number()
+        open_kind = "LBRACKET" if self.check("LBRACKET") else "LPAREN"
+        close_kind = "RBRACKET" if open_kind == "LBRACKET" else "RPAREN"
+        self.expect(open_kind)
+        query = self._parse_reward_query()
+        self.expect(close_kind)
+        return ast.Reward(comparison, bound, query)
+
+    def _parse_reward_query(self) -> ast.RewardQuery:
+        if self.accept("KEYWORD", "I"):
+            self.expect("EQ")
+            return ast.InstantaneousReward(self._parse_number())
+        if self.accept("KEYWORD", "C"):
+            self.expect("CMP", "<=")
+            return ast.CumulativeReward(self._parse_number())
+        if self.accept("KEYWORD", "F"):
+            return ast.ReachabilityReward(self.parse_state())
+        if self.accept("KEYWORD", "S"):
+            return ast.SteadyStateReward()
+        raise self.fail(
+            "expected a reward query: 'I=t', 'C<=t', 'F formula' "
+            "or 'S'")
+
+    # -- path formulas ----------------------------------------------------
+
+    def parse_path(self) -> ast.PathFormula:
+        token = self.current
+        if token.kind == "KEYWORD" and token.text in ("X", "F", "G"):
+            self.advance()
+            time, reward = self._parse_bounds()
+            operand = self.parse_state()
+            if token.text == "X":
+                return ast.Next(operand, time, reward)
+            if token.text == "F":
+                return ast.Eventually(operand, time, reward)
+            return ast.Globally(operand, time, reward)
+        left = self.parse_state()
+        self.expect("KEYWORD", "U")
+        time, reward = self._parse_bounds()
+        right = self.parse_state()
+        return ast.Until(left, right, time, reward)
+
+    def _parse_bounds(self) -> Tuple[Interval, Interval]:
+        # Short form: U<=24
+        if self.check("CMP", "<="):
+            self.advance()
+            bound = self._parse_number()
+            return Interval.upto(bound), Interval.unbounded()
+        time = Interval.unbounded()
+        reward = Interval.unbounded()
+        if self.check("LBRACKET"):
+            time = self._parse_interval()
+            if self.check("LBRACKET"):
+                reward = self._parse_interval()
+        return time, reward
+
+    def _parse_interval(self) -> Interval:
+        self.expect("LBRACKET")
+        lower = self._parse_number()
+        self.expect("COMMA")
+        if self.accept("KEYWORD", "inf"):
+            upper = math.inf
+        else:
+            upper = self._parse_number()
+        self.expect("RBRACKET")
+        return Interval(lower, upper)
+
+    def _parse_number(self) -> float:
+        token = self.expect("NUMBER")
+        try:
+            return float(token.text)
+        except ValueError:  # pragma: no cover - the lexer precludes this
+            raise ParseError(f"malformed number {token.text!r}",
+                             position=token.position) from None

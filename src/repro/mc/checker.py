@@ -1,0 +1,239 @@
+"""The recursive CSRL model checker (Section 3 of the paper).
+
+Checking a state formula ``Phi`` computes the satisfaction set
+``Sat(Phi)`` by a bottom-up traversal of the parse tree: atomic
+propositions come from the state labelling, boolean operators are set
+operations, and the probabilistic operators trigger the numerical
+procedures of :mod:`repro.mc.until`, :mod:`repro.mc.next_op` and
+:mod:`repro.mc.steady`.  Satisfaction sets are memoised per
+(sub)formula, so shared subformulas are checked once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Union
+
+import numpy as np
+
+from repro.algorithms.base import JointEngine, get_engine
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import FormulaError
+from repro.logic import ast
+from repro.logic.parser import parse_formula
+from repro.mc import next_op, reward_op, steady, until
+from repro.mc.result import CheckResult
+
+FormulaLike = Union[str, ast.StateFormula]
+
+
+class ModelChecker:
+    """Checks CSRL formulas over a Markov reward model.
+
+    Parameters
+    ----------
+    model:
+        The MRM (or plain CTMC -- rewards then default to zero and any
+        downward-closed reward bound is trivially met).
+    engine:
+        Joint-distribution engine for time- and reward-bounded until
+        formulas: an engine name (``"sericola"``, ``"erlang"``,
+        ``"discretization"``), a :class:`JointEngine` instance, or
+        ``None`` for the default (Sericola with ``epsilon``).
+    epsilon:
+        Truncation error bound used by the transient procedures.
+    solver:
+        Linear solver for unbounded until and steady state
+        (``"direct"``, ``"jacobi"`` or ``"gauss-seidel"``).
+
+    Examples
+    --------
+    >>> from repro.ctmc import ModelBuilder
+    >>> builder = ModelBuilder()
+    >>> _ = builder.add_state("working", labels=("up",), reward=1.0)
+    >>> _ = builder.add_state("failed", labels=("down",), reward=0.0)
+    >>> builder.add_transition("working", "failed", 0.1)
+    >>> builder.add_transition("failed", "working", 5.0)
+    >>> checker = ModelChecker(builder.build())
+    >>> checker.check("P>0.9 [ up U[0,1] down ]").states
+    frozenset({1})
+    """
+
+    def __init__(self,
+                 model: MarkovRewardModel,
+                 engine: Union[None, str, JointEngine] = None,
+                 epsilon: float = 1e-12,
+                 solver: str = "direct"):
+        if not isinstance(model, MarkovRewardModel):
+            model = MarkovRewardModel(model.rate_matrix,
+                                      labels=model.labels_as_dict(),
+                                      initial_distribution=(
+                                          model.initial_distribution),
+                                      state_names=model.state_names)
+        self.model = model
+        if engine is None:
+            engine = get_engine("sericola", epsilon=min(epsilon, 1e-9))
+        elif isinstance(engine, str):
+            engine = get_engine(engine)
+        self.engine = engine
+        self.epsilon = float(epsilon)
+        self.solver = solver
+        self._cache: Dict[ast.StateFormula, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def check(self, formula: FormulaLike) -> CheckResult:
+        """Check a state formula; returns the full :class:`CheckResult`."""
+        formula = self._normalize(formula)
+        probabilities: Optional[np.ndarray] = None
+        if isinstance(formula, ast.Prob):
+            probabilities = self.probability_vector(formula.path)
+            states = frozenset(
+                int(s) for s in range(self.model.num_states)
+                if ast.compare(float(probabilities[s]),
+                               formula.comparison, formula.bound))
+            self._cache[formula] = states
+        elif isinstance(formula, ast.SteadyState):
+            operand = self.satisfaction_set(formula.operand)
+            probabilities = steady.steady_state_probabilities(
+                self.model, set(operand))
+            states = frozenset(
+                int(s) for s in range(self.model.num_states)
+                if ast.compare(float(probabilities[s]),
+                               formula.comparison, formula.bound))
+            self._cache[formula] = states
+        elif isinstance(formula, ast.Reward):
+            probabilities = self.expected_reward_vector(formula.query)
+            states = frozenset(
+                int(s) for s in range(self.model.num_states)
+                if ast.compare(float(probabilities[s]),
+                               formula.comparison, formula.bound))
+            self._cache[formula] = states
+        else:
+            states = self.satisfaction_set(formula)
+        return CheckResult(formula=formula, states=states,
+                           model=self.model, probabilities=probabilities)
+
+    def satisfaction_set(self, formula: FormulaLike) -> FrozenSet[int]:
+        """The set ``Sat(formula)`` of satisfying state indices."""
+        formula = self._normalize(formula)
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        states = self._compute_sat(formula)
+        self._cache[formula] = states
+        return states
+
+    def holds_initially(self, formula: FormulaLike) -> bool:
+        """Whether the formula holds in the model's initial state(s)."""
+        return self.check(formula).holds_initially
+
+    def probability_vector(self, path: ast.PathFormula) -> np.ndarray:
+        """Per-state probability measure of the paths satisfying *path*.
+
+        This is the numerical core behind ``P<|p``: entry ``s`` is
+        ``Pr{ paths from s satisfying path }``.
+        """
+        if isinstance(path, ast.Eventually):
+            path = path.as_until()
+        if isinstance(path, ast.Globally):
+            # G phi = !F !phi on the probability level.
+            complement = ast.Eventually(ast.Not(path.operand),
+                                        path.time, path.reward).as_until()
+            return 1.0 - self.probability_vector(complement)
+        if isinstance(path, ast.Next):
+            phi = set(self.satisfaction_set(path.operand))
+            return next_op.next_probabilities(self.model, phi,
+                                              path.time, path.reward)
+        if isinstance(path, ast.Until):
+            return self._until_probabilities(path)
+        raise FormulaError(f"unknown path formula {path!r}")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize(formula: FormulaLike) -> ast.StateFormula:
+        if isinstance(formula, str):
+            return parse_formula(formula)
+        if not isinstance(formula, ast.StateFormula):
+            raise FormulaError(
+                f"expected a state formula or string, got {formula!r}")
+        return formula
+
+    def _compute_sat(self, formula: ast.StateFormula) -> FrozenSet[int]:
+        n = self.model.num_states
+        if isinstance(formula, ast.TrueFormula):
+            return frozenset(range(n))
+        if isinstance(formula, ast.FalseFormula):
+            return frozenset()
+        if isinstance(formula, ast.Atomic):
+            return frozenset(self.model.states_with(formula.name))
+        if isinstance(formula, ast.Not):
+            return frozenset(range(n)) - self.satisfaction_set(
+                formula.operand)
+        if isinstance(formula, ast.And):
+            return (self.satisfaction_set(formula.left)
+                    & self.satisfaction_set(formula.right))
+        if isinstance(formula, ast.Or):
+            return (self.satisfaction_set(formula.left)
+                    | self.satisfaction_set(formula.right))
+        if isinstance(formula, ast.Implies):
+            left = self.satisfaction_set(formula.left)
+            right = self.satisfaction_set(formula.right)
+            return (frozenset(range(n)) - left) | right
+        if isinstance(formula, (ast.Prob, ast.SteadyState, ast.Reward)):
+            return self.check(formula).states
+        raise FormulaError(f"unknown state formula {formula!r}")
+
+    def expected_reward_vector(self,
+                               query: ast.RewardQuery) -> np.ndarray:
+        """Per-state expected value of an ``R``-operator query."""
+        if isinstance(query, ast.InstantaneousReward):
+            return reward_op.instantaneous_reward_vector(
+                self.model, query.time, epsilon=self.epsilon)
+        if isinstance(query, ast.CumulativeReward):
+            return reward_op.cumulative_reward_vector(
+                self.model, query.time, epsilon=self.epsilon)
+        if isinstance(query, ast.ReachabilityReward):
+            phi = set(self.satisfaction_set(query.operand))
+            return reward_op.reachability_reward_vector(
+                self.model, phi, solver=self.solver)
+        if isinstance(query, ast.SteadyStateReward):
+            from repro.mc.measures import long_run_reward_rate
+            return long_run_reward_rate(self.model)
+        raise FormulaError(f"unknown reward query {query!r}")
+
+    def _until_probabilities(self, path: ast.Until) -> np.ndarray:
+        phi = set(self.satisfaction_set(path.left))
+        psi = set(self.satisfaction_set(path.right))
+        time, reward = path.time, path.reward
+        # With an all-zero reward structure (and no impulses) Y_t = 0,
+        # so any bound of the form [0, r] is vacuously met and the
+        # reward dimension drops.
+        reward_trivial = reward.is_trivial or (
+            reward.lower == 0.0
+            and not np.any(self.model.rewards > 0.0)
+            and not self.model.has_impulse_rewards)
+        if time.is_trivial and reward_trivial:
+            return until.unbounded_until(self.model, phi, psi,
+                                         solver=self.solver)
+        if reward_trivial:
+            return until.time_bounded_until(self.model, phi, psi, time,
+                                            epsilon=self.epsilon)
+        if time.is_trivial:
+            return until.reward_bounded_until(self.model, phi, psi,
+                                              reward, epsilon=self.epsilon)
+        return until.time_reward_bounded_until(self.model, phi, psi,
+                                               time, reward, self.engine)
+    # ------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop all memoised satisfaction sets."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(model={self.model!r}, "
+                f"engine={self.engine!r})")

@@ -1,0 +1,76 @@
+"""The NEXT operator ``X_I^J Phi``.
+
+A path satisfies ``X_I^J Phi`` iff its first transition leads to a
+``Phi``-state, occurs at a time ``tau`` in the time interval ``I``,
+and the reward ``rho(s) * tau`` earned in the current state ``s`` up
+to the jump lies in the reward interval ``J``.
+
+For state ``s`` with exit rate ``E(s) > 0`` the jump time is
+exponential, and the two constraints intersect to a single interval
+``[a, b]`` of admissible jump times, so
+
+    Pr(s) = (sum_{s' in Sat(Phi)} R(s, s') / E(s))
+            * (e^{-E(s) a} - e^{-E(s) b}).
+
+Because this is a one-dimensional integral, *arbitrary* intervals are
+supported here -- not only the ``[0, b]`` form the paper restricts its
+until procedures to.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Set
+
+import numpy as np
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.logic.intervals import Interval
+
+
+def admissible_jump_window(reward_rate: float,
+                           time: Interval,
+                           reward: Interval) -> "Interval | None":
+    """Intersect the time interval with the reward constraint.
+
+    Returns the interval of jump times ``tau`` with ``tau in I`` and
+    ``reward_rate * tau in J``, or ``None`` when it is empty.
+    """
+    if reward_rate == 0.0:
+        # No reward is ever earned: the constraint is "0 in J".
+        if reward.lower > 0.0:
+            return None
+        return time
+    lower = reward.lower / reward_rate
+    upper = (math.inf if math.isinf(reward.upper)
+             else reward.upper / reward_rate)
+    return time.intersect(Interval(lower, upper))
+
+
+def next_probabilities(model: MarkovRewardModel,
+                       phi: Set[int],
+                       time: Interval,
+                       reward: Interval) -> np.ndarray:
+    """Per-state probability of the path formula ``X_I^J Phi``."""
+    n = model.num_states
+    rates = model.rate_matrix
+    exit_rates = model.exit_rates
+    # One-step probability of jumping into Sat(Phi), per state.
+    indicator = np.zeros(n)
+    for s in phi:
+        indicator[s] = 1.0
+    into_phi = rates @ indicator  # total rate into Phi-states
+
+    probabilities = np.zeros(n)
+    for s in range(n):
+        rate = exit_rates[s]
+        if rate == 0.0:
+            continue  # absorbing: no next state at all
+        window = admissible_jump_window(model.reward(s), time, reward)
+        if window is None:
+            continue
+        upper_term = (0.0 if math.isinf(window.upper)
+                      else math.exp(-rate * window.upper))
+        weight = math.exp(-rate * window.lower) - upper_term
+        probabilities[s] = (into_phi[s] / rate) * weight
+    return np.clip(probabilities, 0.0, 1.0)

@@ -1,0 +1,71 @@
+"""Results of model-checking runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.ctmc.ctmc import CTMC
+from repro.logic.ast import StateFormula
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking a state formula on a model.
+
+    Attributes
+    ----------
+    formula:
+        The checked state formula.
+    states:
+        The satisfaction set ``Sat(formula)`` as a frozen set of state
+        indices.
+    probabilities:
+        When the outermost operator is ``P<|p`` or ``S<|p``, the
+        per-state numerical values that were compared against the
+        bound; ``None`` for purely boolean formulas.
+    model:
+        The model the formula was checked on (used for pretty
+        printing with state names).
+    """
+
+    formula: StateFormula
+    states: FrozenSet[int]
+    model: CTMC
+    probabilities: Optional[np.ndarray] = None
+
+    def holds_in(self, state: int) -> bool:
+        """Whether the formula holds in *state*."""
+        return state in self.states
+
+    def __contains__(self, state: int) -> bool:
+        return state in self.states
+
+    @property
+    def holds_initially(self) -> bool:
+        """Whether the formula holds under the model's initial distribution.
+
+        For a point-mass initial distribution this is satisfaction in
+        the initial state; for a general distribution we require that
+        every state carrying initial mass satisfies the formula.
+        """
+        alpha = self.model.initial_distribution
+        return all(int(s) in self.states for s in np.flatnonzero(alpha))
+
+    def probability_of(self, state: int) -> float:
+        """The numerical value computed for *state* (if available)."""
+        if self.probabilities is None:
+            raise ValueError(
+                "no probabilities available: the outermost operator of "
+                f"{self.formula} is boolean")
+        return float(self.probabilities[state])
+
+    def state_names(self) -> "list[str]":
+        """Names of the satisfying states, sorted by index."""
+        return [self.model.name_of(s) for s in sorted(self.states)]
+
+    def __str__(self) -> str:
+        names = ", ".join(self.state_names())
+        return f"Sat({self.formula}) = {{{names}}}"

@@ -1,0 +1,39 @@
+"""The steady-state operator ``S<|p(Phi)``.
+
+The paper omits this CSL operator (it focuses on the transient
+fragment); it is included here for completeness following the
+procedure of Baier/Katoen/Hermanns: the long-run probability of the
+``Phi``-states from initial state ``s`` is
+
+    pi_s(Phi) = sum_{B in BSCC} Pr{reach B from s} * pi_B(Sat(Phi) & B)
+
+where ``pi_B`` is the stationary distribution of the bottom strongly
+connected component ``B``.  Reaching a BSCC is an unbounded
+reachability problem (one sparse solve per BSCC); the stationary
+distributions need one solve per BSCC.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.numerics.dtmc import reachability_probabilities
+from repro.numerics.linear import bscc_stationary_distributions
+
+
+def steady_state_probabilities(model: MarkovRewardModel,
+                               phi: Set[int]) -> np.ndarray:
+    """Per-initial-state long-run probability of the *phi*-states."""
+    n = model.num_states
+    everything = set(range(n))
+    result = np.zeros(n)
+    for members, distribution in bscc_stationary_distributions(model):
+        weight = sum(p for s, p in zip(members, distribution) if s in phi)
+        if weight == 0.0:
+            continue
+        reach = reachability_probabilities(model, everything, set(members))
+        result += weight * reach
+    return np.clip(result, 0.0, 1.0)

@@ -1,0 +1,152 @@
+"""Numerical procedures for the four until variants (P0--P3).
+
+Each function returns the per-state probability vector of the path
+formula ``Phi U_I^J Psi`` -- entry ``s`` is the probability measure of
+the satisfying paths starting in ``s``.  The caller (the model
+checker) compares against the probability bound.
+
+* :func:`unbounded_until` -- "P0", no bounds: Prob0/Prob1 graph
+  precomputation plus one sparse linear solve on the embedded DTMC
+  (the procedure of Hansson & Jonsson cited by the paper).
+* :func:`time_bounded_until` -- "P1", ``I = [0, t]``: make decided
+  states absorbing and read the probability mass in ``Sat(Psi)`` off a
+  transient analysis at ``t`` (Baier et al. 2000).  A general interval
+  ``I = [t1, t2]`` is supported through the standard two-phase scheme.
+* :func:`reward_bounded_until` -- "P2", ``J = [0, r]``: swap the
+  reward bound into a time bound via the duality transformation and
+  run the P1 procedure on the dual model.
+* :func:`time_reward_bounded_until` -- "P3", both bounds: Theorem 1
+  reduction followed by a joint-distribution engine (Section 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.algorithms.base import JointEngine
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import UnsupportedFormulaError
+from repro.logic.intervals import Interval
+from repro.mc.transform import (until_reduction, dual_model,
+                                eliminate_zero_reward_states)
+from repro.numerics.dtmc import reachability_probabilities
+from repro.numerics.uniformization import transient_target_probabilities
+
+
+def _indicator(num_states: int, members: Set[int]) -> np.ndarray:
+    vector = np.zeros(num_states)
+    for s in members:
+        vector[s] = 1.0
+    return vector
+
+
+def unbounded_until(model: MarkovRewardModel,
+                    phi: Set[int],
+                    psi: Set[int],
+                    solver: str = "direct") -> np.ndarray:
+    """Per-state probability of ``Phi U Psi`` (property class P0)."""
+    return reachability_probabilities(model, phi, psi, method=solver)
+
+
+def time_bounded_until(model: MarkovRewardModel,
+                       phi: Set[int],
+                       psi: Set[int],
+                       time: Interval,
+                       epsilon: float = 1e-12) -> np.ndarray:
+    """Per-state probability of ``Phi U^I Psi`` (property class P1).
+
+    ``I = [0, t]`` uses one transient analysis on the reduced chain;
+    ``I = [t1, t2]`` with ``t1 > 0`` uses the two-phase scheme: the
+    path must stay in ``Phi`` throughout ``[0, t1]`` and then satisfy
+    a ``[0, t2 - t1]``-bounded until from wherever it is at ``t1``.
+    """
+    if math.isinf(time.upper):
+        if time.lower == 0.0:
+            return unbounded_until(model, phi, psi)
+        raise UnsupportedFormulaError(
+            f"time interval {time} with an infinite upper and positive "
+            f"lower bound is not supported")
+    horizon = time.upper - time.lower
+    reduced = until_reduction(model, phi, psi)
+    probabilities = transient_target_probabilities(
+        reduced, horizon, _indicator(model.num_states, psi),
+        epsilon=epsilon)
+    if time.lower == 0.0:
+        return np.clip(probabilities, 0.0, 1.0)
+    # Phase 1: survive in Phi until t1.  Outside Phi the path is dead,
+    # so make non-Phi states absorbing and zero their contribution.
+    phi_indicator = _indicator(model.num_states, phi)
+    survivor = until_reduction(model, phi, set())  # absorb !Phi states
+    staged = transient_target_probabilities(
+        survivor, time.lower, probabilities * phi_indicator,
+        epsilon=epsilon)
+    return np.clip(staged, 0.0, 1.0)
+
+
+def reward_bounded_until(model: MarkovRewardModel,
+                         phi: Set[int],
+                         psi: Set[int],
+                         reward: Interval,
+                         epsilon: float = 1e-12) -> np.ndarray:
+    """Per-state probability of ``Phi U_J Psi`` (property class P2).
+
+    The reduction is applied first (which also zeroes the rewards of
+    the decided states, keeping the duality well defined there), then
+    the dual model turns the reward bound into a time bound.
+    """
+    if reward.lower != 0.0:
+        raise UnsupportedFormulaError(
+            f"reward interval {reward} does not start at 0; no "
+            f"computational procedure is available (see Section 6)")
+    if math.isinf(reward.upper):
+        return unbounded_until(model, phi, psi)
+    reduced = until_reduction(model, phi, psi)
+    if np.any((reduced.rewards == 0.0) & (reduced.exit_rates > 0.0)):
+        # The duality needs positive rewards on non-absorbing states;
+        # zero-reward states are time-abstractly eliminable first
+        # (sojourns there are free in the reward dimension).
+        elimination = eliminate_zero_reward_states(reduced)
+        kept_psi = [elimination.kept.index(s) for s in psi
+                    if s in set(elimination.kept)]
+        dual = dual_model(elimination.model)
+        kept_values = transient_target_probabilities(
+            dual, reward.upper,
+            _indicator(elimination.model.num_states, set(kept_psi)),
+            epsilon=epsilon)
+        probabilities = elimination.lift(kept_values,
+                                         model.num_states)
+        return np.clip(probabilities, 0.0, 1.0)
+    dual = dual_model(reduced)
+    probabilities = transient_target_probabilities(
+        dual, reward.upper, _indicator(model.num_states, psi),
+        epsilon=epsilon)
+    return np.clip(probabilities, 0.0, 1.0)
+
+
+def time_reward_bounded_until(model: MarkovRewardModel,
+                              phi: Set[int],
+                              psi: Set[int],
+                              time: Interval,
+                              reward: Interval,
+                              engine: JointEngine) -> np.ndarray:
+    """Per-state probability of ``Phi U_I^J Psi`` (property class P3).
+
+    Theorem 1 reduces the problem to the joint probability
+    ``Pr{Y_t <= r, X_t in Sat(Psi)}`` on the transformed model, which
+    *engine* computes (Theorem 2).
+    """
+    if time.lower != 0.0 or reward.lower != 0.0:
+        raise UnsupportedFormulaError(
+            f"intervals {time}/{reward} do not start at 0; no "
+            f"computational procedure is available (see Section 6)")
+    if math.isinf(time.upper):
+        return reward_bounded_until(model, phi, psi, reward)
+    if math.isinf(reward.upper):
+        return time_bounded_until(model, phi, psi, time)
+    reduced = until_reduction(model, phi, psi)
+    vector = engine.joint_probability_vector(
+        reduced, time.upper, reward.upper, psi)
+    return np.clip(vector, 0.0, 1.0)

@@ -1,0 +1,8 @@
+"""Ready-made models: the paper's case study and synthetic workloads."""
+
+from repro.models.adhoc import (build_adhoc_srn, adhoc_model,
+                                reduced_q3_model, Q1, Q2, Q3)
+from repro.models import workloads
+
+__all__ = ["build_adhoc_srn", "adhoc_model", "reduced_q3_model",
+           "Q1", "Q2", "Q3", "workloads"]

@@ -1,0 +1,66 @@
+"""Queueing models with breakdowns, as stochastic reward nets.
+
+A classic performability setting complementing the paper's case study:
+an M/M/1/K queue whose server breaks down and is repaired.  Rate
+rewards model the energy drawn by the busy server; impulse rewards
+model the per-repair cost -- exercising the SRN substrate (inhibitor
+arcs, marking-dependent rates, impulses) end to end.
+"""
+
+from __future__ import annotations
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.srn.net import StochasticRewardNet
+from repro.srn.reachability import build_mrm
+
+
+def mm1_breakdown_srn(capacity: int = 5,
+                      arrival_rate: float = 1.0,
+                      service_rate: float = 2.0,
+                      failure_rate: float = 0.05,
+                      repair_rate: float = 0.5,
+                      busy_power: float = 3.0,
+                      repair_cost: float = 10.0
+                      ) -> StochasticRewardNet:
+    """An M/M/1/K queue with server breakdowns as an SRN.
+
+    Places: ``queue`` (jobs waiting/in service), ``up`` / ``down``
+    (server health).  Arrivals are inhibited at *capacity*; service
+    requires the server up; failures may strike any time the server is
+    up; repairs carry an impulse *repair_cost* besides restoring
+    service.  The rate reward is *busy_power* while serving (server up
+    and at least one job present).
+    """
+    net = StochasticRewardNet()
+    net.add_place("queue")
+    net.add_place("up", tokens=1)
+    net.add_place("down")
+
+    net.add_timed_transition("arrive", arrival_rate,
+                             outputs=["queue"],
+                             inhibitors=[("queue", capacity)])
+    net.add_timed_transition("serve", service_rate,
+                             inputs=["queue", "up"],
+                             outputs=["up"])
+    net.add_timed_transition("fail", failure_rate,
+                             inputs=["up"], outputs=["down"])
+    net.add_timed_transition("repair", repair_rate,
+                             inputs=["down"], outputs=["up"],
+                             impulse=repair_cost)
+
+    net.set_reward(lambda m: busy_power
+                   if m["up"] and m["queue"] > 0 else 0.0)
+    net.add_label("busy", lambda m: m["up"] > 0 and m["queue"] > 0)
+    net.add_label("full", lambda m: m["queue"] >= capacity)
+    net.add_label("idle", lambda m: m["queue"] == 0)
+    return net
+
+
+def mm1_breakdown_model(capacity: int = 5, **parameters
+                        ) -> MarkovRewardModel:
+    """The MRM underlying :func:`mm1_breakdown_srn`.
+
+    State space: ``(queue length 0..capacity) x (up | down)`` --
+    ``2 * (capacity + 1)`` states.
+    """
+    return build_mrm(mm1_breakdown_srn(capacity=capacity, **parameters))

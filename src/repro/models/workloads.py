@@ -1,0 +1,161 @@
+"""Synthetic model generators for tests, examples and benchmarks.
+
+These provide controlled workloads for the scaling/ablation studies:
+
+* :func:`random_mrm` -- random labelled MRMs (hypothesis-style fuzzing
+  and cross-engine agreement tests);
+* :func:`birth_death_mrm` -- an M/M/1-style queue with occupancy
+  reward (smooth, well-understood transient behaviour);
+* :func:`cycle_mrm` -- a deterministic ring (worst case for
+  steady-state detection);
+* :func:`degradable_multiprocessor` -- Meyer's classic performability
+  model: ``n`` processors failing and being repaired, reward =
+  processing capacity;
+* :func:`workstation_cluster` -- a small dependable cluster with
+  workstations and a repair unit, in the spirit of the case study of
+  [Haverkort, Hermanns, Katoen 2000] cited by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ctmc.builder import ModelBuilder
+from repro.ctmc.mrm import MarkovRewardModel
+
+
+def random_mrm(num_states: int,
+               density: float = 0.4,
+               max_rate: float = 3.0,
+               reward_levels: Sequence[float] = (0.0, 1.0, 2.0),
+               seed: Optional[int] = None,
+               ensure_connected: bool = True) -> MarkovRewardModel:
+    """A random MRM with the given size and transition density.
+
+    Every ordered state pair gets a transition with probability
+    *density* and a uniform rate in ``(0, max_rate]``; rewards are
+    drawn uniformly from *reward_levels*.  With *ensure_connected* a
+    random cycle through all states is added so the chain has no
+    unreachable parts (keeps transient quantities non-degenerate).
+    """
+    rng = np.random.default_rng(seed)
+    builder = ModelBuilder()
+    for s in range(num_states):
+        labels = []
+        if rng.random() < 0.5:
+            labels.append("green")
+        if rng.random() < 0.3:
+            labels.append("red")
+        builder.add_state(f"s{s}", labels=labels,
+                          reward=float(rng.choice(reward_levels)))
+    for src in range(num_states):
+        for dst in range(num_states):
+            if src != dst and rng.random() < density:
+                builder.add_transition(src, dst,
+                                       float(rng.uniform(0.05, max_rate)))
+    if ensure_connected and num_states > 1:
+        order = rng.permutation(num_states)
+        for i in range(num_states):
+            builder.add_transition(int(order[i]),
+                                   int(order[(i + 1) % num_states]),
+                                   float(rng.uniform(0.05, max_rate)))
+    return builder.build(initial_state=0)
+
+
+def birth_death_mrm(capacity: int,
+                    arrival_rate: float = 1.0,
+                    service_rate: float = 1.5,
+                    reward_per_job: float = 1.0) -> MarkovRewardModel:
+    """An M/M/1/c queue whose reward rate is the queue occupancy."""
+    builder = ModelBuilder()
+    for level in range(capacity + 1):
+        labels = ["empty"] if level == 0 else []
+        if level == capacity:
+            labels.append("full")
+        builder.add_state(f"q{level}", labels=labels,
+                          reward=reward_per_job * level)
+    for level in range(capacity):
+        builder.add_transition(level, level + 1, arrival_rate)
+        builder.add_transition(level + 1, level, service_rate)
+    return builder.build(initial_state=0)
+
+
+def cycle_mrm(num_states: int, rate: float = 1.0) -> MarkovRewardModel:
+    """A unidirectional ring; state ``s`` has reward ``s``."""
+    builder = ModelBuilder()
+    for s in range(num_states):
+        builder.add_state(f"c{s}", labels=("start",) if s == 0 else (),
+                          reward=float(s))
+    for s in range(num_states):
+        builder.add_transition(s, (s + 1) % num_states, rate)
+    return builder.build(initial_state=0)
+
+
+def degradable_multiprocessor(processors: int,
+                              failure_rate: float = 0.1,
+                              repair_rate: float = 1.0,
+                              coverage: float = 1.0
+                              ) -> MarkovRewardModel:
+    """Meyer's degradable multiprocessor.
+
+    State ``k`` has ``k`` operational processors; processors fail
+    independently (rate ``k * failure_rate``, with probability
+    ``1 - coverage`` a failure crashes the whole system) and a single
+    repair unit restores them one at a time.  The reward rate is the
+    number of operational processors -- accumulated reward is the
+    amount of useful work, Meyer's performability variable.
+
+    Labels: ``operational`` (k > 0), ``degraded`` (0 < k < n),
+    ``down`` (k = 0).
+    """
+    builder = ModelBuilder()
+    for k in range(processors + 1):
+        labels = []
+        if k > 0:
+            labels.append("operational")
+        if 0 < k < processors:
+            labels.append("degraded")
+        if k == 0:
+            labels.append("down")
+        builder.add_state(f"p{k}", labels=labels, reward=float(k))
+    for k in range(1, processors + 1):
+        total_failure = k * failure_rate
+        builder.add_transition(k, k - 1, total_failure * coverage)
+        if coverage < 1.0 and k >= 2:
+            builder.add_transition(k, 0, total_failure * (1.0 - coverage))
+        if k < processors:
+            builder.add_transition(k, k + 1, repair_rate)
+    builder.add_transition(0, 1, repair_rate)
+    return builder.build(initial_state=processors)
+
+
+def workstation_cluster(workstations: int,
+                        failure_rate: float = 0.02,
+                        repair_rate: float = 2.0,
+                        minimum_operational: Optional[int] = None
+                        ) -> MarkovRewardModel:
+    """A small dependable cluster with one shared repair unit.
+
+    State ``k`` = number of working stations; the reward rate is the
+    delivered service capacity ``k`` and the label ``available`` marks
+    states providing at least *minimum_operational* (default:
+    three-quarters of the cluster) stations.
+    """
+    if minimum_operational is None:
+        minimum_operational = max(1, (3 * workstations) // 4)
+    builder = ModelBuilder()
+    for k in range(workstations + 1):
+        labels = []
+        if k >= minimum_operational:
+            labels.append("available")
+        if k == 0:
+            labels.append("outage")
+        builder.add_state(f"w{k}", labels=labels, reward=float(k))
+    for k in range(1, workstations + 1):
+        builder.add_transition(k, k - 1, k * failure_rate)
+        if k < workstations:
+            builder.add_transition(k, k + 1, repair_rate)
+    builder.add_transition(0, 1, repair_rate)
+    return builder.build(initial_state=workstations)

@@ -1,0 +1,228 @@
+"""Transient analysis of CTMCs by uniformisation (randomisation).
+
+Uniformisation (Jensen 1953, Gross/Miller 1984) turns the matrix
+exponential into a Poisson mixture of DTMC powers:
+
+    pi(t) = alpha e^{Q t} = sum_{k>=0} psi_k(lambda t) * alpha P^k
+
+with ``P = I + Q / lambda`` for any ``lambda >= max_s E(s)`` and
+``psi_k`` the Poisson probabilities.  Each step is a sparse
+vector--matrix product, and the truncation error is controlled a priori
+through the Poisson tail (see :mod:`repro.numerics.poisson`).
+
+The module also provides Poisson-integrated quantities needed for
+reward measures: the expected accumulated reward ``E[Y_t]`` uses
+
+    int_0^t alpha e^{Q u} du = (1/lambda) sum_k T_{k+1} * alpha P^k
+
+where ``T_k`` is the Poisson tail ``sum_{j>=k} psi_j(lambda t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ctmc.ctmc import CTMC
+from repro.errors import NumericalError
+from repro.numerics.poisson import poisson_weights
+
+# Maximum-norm threshold under which two successive uniformised vectors
+# are considered equal for steady-state detection.
+_STEADY_STATE_TOLERANCE_FACTOR = 1e-3
+
+
+def _initial_vector(model: CTMC,
+                    initial: Optional[Sequence[float]]) -> np.ndarray:
+    if initial is None:
+        return model.initial_distribution.copy()
+    vector = np.asarray(initial, dtype=float)
+    if vector.shape != (model.num_states,):
+        raise NumericalError(
+            f"initial vector has shape {vector.shape}, expected "
+            f"({model.num_states},)")
+    return vector.copy()
+
+
+def transient_distribution(model: CTMC,
+                           t: float,
+                           initial: Optional[Sequence[float]] = None,
+                           epsilon: float = 1e-12,
+                           uniformization_rate: Optional[float] = None,
+                           steady_state_detection: bool = True
+                           ) -> np.ndarray:
+    """The state distribution ``pi(t)`` of *model* at time *t*.
+
+    Parameters
+    ----------
+    model:
+        The CTMC to analyse.
+    t:
+        Non-negative time horizon.
+    initial:
+        Initial distribution (defaults to the model's own); any
+        non-negative vector is accepted, so sub-distributions can be
+        propagated as well.
+    epsilon:
+        Bound on the truncation error (in total variation, per unit of
+        initial mass).
+    uniformization_rate:
+        Override for the uniformisation rate ``lambda``; must be at
+        least the maximal exit rate.
+    steady_state_detection:
+        Stop the series early once the uniformised vector has converged
+        (the remaining Poisson mass then multiplies a fixed vector).
+    """
+    if t < 0.0:
+        raise NumericalError(f"time must be >= 0, got {t}")
+    vector = _initial_vector(model, initial)
+    if t == 0.0 or model.num_states == 0:
+        return vector
+    rate = (model.max_exit_rate if uniformization_rate is None
+            else float(uniformization_rate))
+    if rate == 0.0:
+        return vector  # no transitions at all
+    matrix = model.uniformized_dtmc_matrix(rate)
+    weights = poisson_weights(rate * t, epsilon=epsilon)
+
+    result = np.zeros_like(vector)
+    tolerance = (epsilon * _STEADY_STATE_TOLERANCE_FACTOR
+                 / max(1.0, float(len(weights))))
+    previous = vector
+    for k in range(weights.right + 1):
+        if k >= weights.left:
+            result += weights.weights[k - weights.left] * vector
+        if k == weights.right:
+            break
+        next_vector = vector @ matrix
+        if steady_state_detection and k >= weights.left:
+            if np.max(np.abs(next_vector - vector)) < tolerance:
+                # Steady state reached: the remaining Poisson mass all
+                # multiplies (approximately) the same vector.
+                remaining = weights.weights[k + 1 - weights.left:].sum()
+                result += remaining * next_vector
+                return result
+        previous = vector
+        vector = next_vector
+    return result
+
+
+def transient_target_probabilities(model: CTMC,
+                                   t: float,
+                                   indicator: Sequence[float],
+                                   epsilon: float = 1e-12,
+                                   uniformization_rate: Optional[float] = None
+                                   ) -> np.ndarray:
+    """Per-initial-state probability of being in a target set at time *t*.
+
+    Returns the vector ``v`` with ``v[i] = Pr{X_t in S' | X_0 = i}``
+    where ``S'`` is described by its 0/1 *indicator* vector.  Computed
+    with the *backward* uniformisation series ``sum_k psi_k P^k 1_{S'}``
+    -- one run covers every initial state, the dual of
+    :func:`transient_distribution`.  Any real-valued vector is accepted,
+    so this also evaluates ``E[f(X_t) | X_0 = i]`` for bounded ``f``.
+    """
+    if t < 0.0:
+        raise NumericalError(f"time must be >= 0, got {t}")
+    vector = np.asarray(indicator, dtype=float)
+    if vector.shape != (model.num_states,):
+        raise NumericalError(
+            f"indicator has shape {vector.shape}, expected "
+            f"({model.num_states},)")
+    vector = vector.copy()
+    rate = (model.max_exit_rate if uniformization_rate is None
+            else float(uniformization_rate))
+    if t == 0.0 or rate == 0.0:
+        return vector
+    matrix = model.uniformized_dtmc_matrix(rate)
+    weights = poisson_weights(rate * t, epsilon=epsilon)
+    result = np.zeros_like(vector)
+    for k in range(weights.right + 1):
+        if k >= weights.left:
+            result += weights.weights[k - weights.left] * vector
+        if k == weights.right:
+            break
+        vector = matrix @ vector
+    return result
+
+
+def transient_matrix(model: CTMC,
+                     t: float,
+                     epsilon: float = 1e-12,
+                     uniformization_rate: Optional[float] = None
+                     ) -> np.ndarray:
+    """All-pairs transient probabilities ``Pi(t)[i, j] = Pr{X_t = j | X_0 = i}``.
+
+    Computed column-block-wise by running uniformisation from every
+    deterministic initial state; dense output of shape ``(n, n)``.
+    """
+    n = model.num_states
+    result = np.zeros((n, n))
+    for i in range(n):
+        start = np.zeros(n)
+        start[i] = 1.0
+        result[i] = transient_distribution(
+            model, t, initial=start, epsilon=epsilon,
+            uniformization_rate=uniformization_rate)
+    return result
+
+
+def expected_instantaneous_reward(model,
+                                  t: float,
+                                  rewards: Optional[Sequence[float]] = None,
+                                  epsilon: float = 1e-12) -> float:
+    """Expected reward rate at time *t*: ``E[rho(X_t)]``.
+
+    *model* is an MRM (its reward vector is used) unless *rewards*
+    overrides the reward structure.
+    """
+    rho = (np.asarray(rewards, dtype=float)
+           if rewards is not None else model.rewards)
+    pi = transient_distribution(model, t, epsilon=epsilon)
+    return float(pi @ rho)
+
+
+def expected_accumulated_reward(model,
+                                t: float,
+                                rewards: Optional[Sequence[float]] = None,
+                                epsilon: float = 1e-12) -> float:
+    """Expected accumulated reward ``E[Y_t] = int_0^t E[rho(X_u)] du``.
+
+    Uses the Poisson-tail formulation of the integral of the transient
+    distribution, so the cost is one uniformisation run.
+    """
+    if t < 0.0:
+        raise NumericalError(f"time must be >= 0, got {t}")
+    rho = (np.asarray(rewards, dtype=float)
+           if rewards is not None else model.rewards)
+    if t == 0.0:
+        return 0.0
+    rate = model.max_exit_rate
+    if rate == 0.0:
+        # No transitions: the chain sits in its initial distribution.
+        return float(model.initial_distribution @ rho) * t
+
+    matrix = model.uniformized_dtmc_matrix(rate)
+    # Make the relative error of the integral match epsilon: the
+    # integral is <= t * max(rho), and each tail coefficient errs by at
+    # most the Poisson tail mass.
+    weights = poisson_weights(rate * t, epsilon=epsilon)
+    tails = weights.tail_from()
+
+    vector = model.initial_distribution.copy()
+    total = 0.0
+    # Coefficient of alpha P^k is tail(k+1) / lambda; for k < left the
+    # tail is 1.
+    for k in range(weights.right + 1):
+        if k + 1 <= weights.left:
+            tail = 1.0
+        else:
+            idx = k + 1 - weights.left
+            tail = float(tails[idx]) if idx < len(tails) else 0.0
+        total += tail * float(vector @ rho)
+        if k < weights.right:
+            vector = vector @ matrix
+    # Account for the (up to `left`) leading terms whose tail is 1 but
+    # which the loop already covers, and normalise by the rate.
+    return total / rate

@@ -1,0 +1,18 @@
+"""Monte-Carlo simulation of Markov reward models.
+
+A discrete-event path simulator serving as an independent validation
+oracle for the numerical engines: it samples timed paths, accumulates
+rewards, and estimates path-formula probabilities with confidence
+intervals.  (The paper validates its three procedures against each
+other; the simulator adds a fourth, statistically independent check.)
+"""
+
+from repro.sim.paths import PathSimulator, SimulatedPath, PathStep
+from repro.sim.estimate import (Estimate, estimate_joint_probability,
+                                estimate_until_probability,
+                                estimate_accumulated_reward_cdf)
+
+__all__ = ["PathSimulator", "SimulatedPath", "PathStep",
+           "Estimate", "estimate_joint_probability",
+           "estimate_until_probability",
+           "estimate_accumulated_reward_cdf"]

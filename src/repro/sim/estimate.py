@@ -1,0 +1,168 @@
+"""Statistical estimation of path-formula probabilities.
+
+Estimators sample independent paths and report point estimates with
+normal-approximation confidence intervals; they are the library's
+independent cross-check of the numerical engines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.logic.intervals import Interval
+from repro.sim.paths import PathSimulator
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate with its confidence interval.
+
+    Attributes
+    ----------
+    value:
+        Point estimate (sample mean).
+    half_width:
+        Half width of the (normal-approximation) confidence interval.
+    samples:
+        Number of independent samples used.
+    confidence:
+        The confidence level the half width corresponds to.
+    """
+    value: float
+    half_width: float
+    samples: int
+    confidence: float = 0.99
+
+    @property
+    def lower(self) -> float:
+        return max(0.0, self.value - self.half_width)
+
+    @property
+    def upper(self) -> float:
+        return min(1.0, self.value + self.half_width)
+
+    def covers(self, truth: float) -> bool:
+        """Whether *truth* lies inside the confidence interval."""
+        return self.lower <= truth <= self.upper
+
+    def __str__(self) -> str:
+        return (f"{self.value:.6f} +- {self.half_width:.6f} "
+                f"({self.samples} samples)")
+
+
+_Z_SCORES = {0.90: 1.6449, 0.95: 1.96, 0.99: 2.5758, 0.999: 3.2905}
+
+
+def _from_successes(successes: int, samples: int,
+                    confidence: float) -> Estimate:
+    z = _Z_SCORES.get(confidence)
+    if z is None:
+        # Fallback via the error function for non-standard levels.
+        z = math.sqrt(2.0) * _inverse_erf(confidence)
+    mean = successes / samples
+    deviation = math.sqrt(max(mean * (1.0 - mean), 1.0 / samples)
+                          / samples)
+    return Estimate(value=mean, half_width=z * deviation,
+                    samples=samples, confidence=confidence)
+
+
+def _inverse_erf(p: float) -> float:
+    from scipy.special import erfinv
+    return float(erfinv(p))
+
+
+def estimate_joint_probability(model: MarkovRewardModel,
+                               t: float,
+                               r: float,
+                               target: Set[int],
+                               samples: int = 10_000,
+                               seed=None,
+                               initial_state: Optional[int] = None,
+                               confidence: float = 0.99) -> Estimate:
+    """Estimate ``Pr{Y_t <= r, X_t in target}`` by simulation."""
+    simulator = PathSimulator(model, seed=seed)
+    successes = 0
+    for path in simulator.sample_paths(samples, t,
+                                       initial_state=initial_state):
+        final_step = path.steps[-1]
+        if final_step.state in target and path.final_reward <= r:
+            successes += 1
+    return _from_successes(successes, samples, confidence)
+
+
+def estimate_until_probability(model: MarkovRewardModel,
+                               phi: Set[int],
+                               psi: Set[int],
+                               time: Interval,
+                               reward: Interval,
+                               samples: int = 10_000,
+                               seed=None,
+                               initial_state: Optional[int] = None,
+                               confidence: float = 0.99,
+                               horizon: Optional[float] = None) -> Estimate:
+    """Estimate ``Pr(phi U_I^J psi)`` by simulation.
+
+    For unbounded time intervals a finite simulation *horizon* must be
+    supplied; paths still undecided at the horizon count as failures,
+    so the estimate is then a lower bound.
+    """
+    if horizon is None:
+        if math.isinf(time.upper):
+            raise ValueError("simulating an unbounded until needs an "
+                             "explicit horizon")
+        horizon = time.upper
+    simulator = PathSimulator(model, seed=seed)
+    rewards = model.rewards
+    successes = 0
+    for path in simulator.sample_paths(samples, horizon,
+                                       initial_state=initial_state):
+        if _path_satisfies_until(path, phi, psi, time, reward, rewards):
+            successes += 1
+    return _from_successes(successes, samples, confidence)
+
+
+def _path_satisfies_until(path, phi: Set[int], psi: Set[int],
+                          time: Interval, reward: Interval,
+                          rewards: np.ndarray) -> bool:
+    """Decide ``phi U_I^J psi`` on a sampled path prefix.
+
+    The satisfaction time can be any instant of a sojourn in a
+    psi-state; within one sojourn both the elapsed time and the
+    accumulated reward grow linearly, so an interval intersection
+    decides whether an admissible instant exists.
+    """
+    for step in path.steps:
+        if step.state in psi:
+            # Candidate instants: [entry, exit) of this sojourn.
+            lo_t = max(step.entry_time, time.lower)
+            hi_t = min(step.exit_time, time.upper)
+            if lo_t <= hi_t:
+                rate = rewards[step.state]
+                reward_lo = step.reward_before + rate * (
+                    lo_t - step.entry_time)
+                reward_hi = step.reward_before + rate * (
+                    hi_t - step.entry_time)
+                if not (reward_hi < reward.lower
+                        or reward_lo > reward.upper):
+                    return True
+        if step.state not in phi:
+            return False
+    return False
+
+
+def estimate_accumulated_reward_cdf(model: MarkovRewardModel,
+                                    t: float,
+                                    r: float,
+                                    samples: int = 10_000,
+                                    seed=None,
+                                    initial_state: Optional[int] = None,
+                                    confidence: float = 0.99) -> Estimate:
+    """Estimate Meyer's performability distribution ``Pr{Y_t <= r}``."""
+    return estimate_joint_probability(
+        model, t, r, set(range(model.num_states)), samples=samples,
+        seed=seed, initial_state=initial_state, confidence=confidence)

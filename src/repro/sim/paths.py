@@ -1,0 +1,144 @@
+"""Sampling timed paths through a Markov reward model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import NumericalError
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One sojourn of a simulated path."""
+    state: int
+    entry_time: float
+    sojourn: float          # may be cut short by the horizon
+    reward_before: float    # accumulated reward when entering the state
+    entry_impulse: float = 0.0  # impulse earned by the entering jump
+
+    @property
+    def exit_time(self) -> float:
+        return self.entry_time + self.sojourn
+
+
+@dataclass
+class SimulatedPath:
+    """A finite prefix of a timed path, up to a time horizon.
+
+    The path is an alternating sequence ``s0 t0 s1 t1 ...`` as in
+    Section 2.2 of the paper; rewards accumulate at rate ``rho(s_i)``
+    during each sojourn.
+    """
+    steps: List[PathStep]
+    horizon: float
+    final_reward: float
+
+    def state_at(self, time: float) -> int:
+        """The state occupied at *time* (<= horizon)."""
+        if not 0.0 <= time <= self.horizon:
+            raise NumericalError(f"time {time} outside [0, {self.horizon}]")
+        for step in self.steps:
+            if time < step.exit_time or step is self.steps[-1]:
+                if time >= step.entry_time:
+                    return step.state
+        return self.steps[-1].state
+
+    def reward_at(self, time: float, rewards: np.ndarray) -> float:
+        """Accumulated reward ``Y_time`` along this path (including
+        the impulses of the jumps taken up to *time*)."""
+        total = 0.0
+        for step in self.steps:
+            if time <= step.entry_time:
+                break
+            total += step.entry_impulse
+            duration = min(time, step.exit_time) - step.entry_time
+            total += duration * rewards[step.state]
+        return total
+
+    def first_hit(self, targets: "set[int]") -> Optional[PathStep]:
+        """The first step entering a state in *targets* (or None)."""
+        for step in self.steps:
+            if step.state in targets:
+                return step
+        return None
+
+
+class PathSimulator:
+    """Samples paths of an MRM with a NumPy random generator.
+
+    Parameters
+    ----------
+    model:
+        The MRM to simulate.
+    seed:
+        Seed (or a ``numpy.random.Generator``) for reproducibility.
+    """
+
+    def __init__(self, model: MarkovRewardModel, seed=None):
+        self.model = model
+        self._rng = (seed if isinstance(seed, np.random.Generator)
+                     else np.random.default_rng(seed))
+        # Pre-extract the jump structure for speed.
+        matrix = model.rate_matrix
+        self._indptr = matrix.indptr
+        self._indices = matrix.indices
+        self._data = matrix.data
+        self._exit = model.exit_rates
+        self._rewards = model.rewards
+        self._impulses = (model.impulse_matrix
+                          if getattr(model, "has_impulse_rewards", False)
+                          else None)
+
+    def sample_initial_state(self) -> int:
+        alpha = self.model.initial_distribution
+        return int(self._rng.choice(len(alpha), p=alpha))
+
+    def sample_path(self,
+                    horizon: float,
+                    initial_state: Optional[int] = None) -> SimulatedPath:
+        """Sample one path up to the time *horizon*."""
+        if horizon < 0.0:
+            raise NumericalError(f"horizon must be >= 0, got {horizon}")
+        state = (self.sample_initial_state() if initial_state is None
+                 else int(initial_state))
+        clock = 0.0
+        accumulated = 0.0
+        impulse = 0.0
+        steps: List[PathStep] = []
+        while True:
+            accumulated += impulse
+            rate = self._exit[state]
+            if rate == 0.0:
+                sojourn = horizon - clock
+            else:
+                sojourn = min(self._rng.exponential(1.0 / rate),
+                              horizon - clock)
+            steps.append(PathStep(state=state, entry_time=clock,
+                                  sojourn=sojourn,
+                                  reward_before=accumulated,
+                                  entry_impulse=impulse))
+            accumulated += sojourn * self._rewards[state]
+            clock += sojourn
+            if clock >= horizon or rate == 0.0:
+                break
+            begin, end = self._indptr[state], self._indptr[state + 1]
+            weights = self._data[begin:end]
+            choice = self._rng.choice(end - begin,
+                                      p=weights / weights.sum())
+            next_state = int(self._indices[begin + choice])
+            impulse = (float(self._impulses[state, next_state])
+                       if self._impulses is not None else 0.0)
+            state = next_state
+        return SimulatedPath(steps=steps, horizon=horizon,
+                             final_reward=accumulated)
+
+    def sample_paths(self, count: int, horizon: float,
+                     initial_state: Optional[int] = None
+                     ) -> Iterator[SimulatedPath]:
+        """Yield *count* independent paths."""
+        for _ in range(count):
+            yield self.sample_path(horizon, initial_state=initial_state)

@@ -1,0 +1,25 @@
+"""Stochastic reward nets (SRNs).
+
+The paper's case study is specified as a stochastic reward net [Ciardo,
+Muppala, Trivedi 1989]: a stochastic Petri net with timed
+(exponential) and immediate transitions, inhibitor arcs, guards,
+marking-dependent rates and a marking-based rate-reward function.
+
+This package provides:
+
+* :class:`~repro.srn.net.StochasticRewardNet` -- the net definition;
+* :class:`~repro.srn.marking.Marking` -- immutable markings with
+  by-name access;
+* :func:`~repro.srn.reachability.build_mrm` -- reachability-graph
+  generation with on-the-fly elimination of vanishing markings,
+  producing the underlying :class:`~repro.ctmc.mrm.MarkovRewardModel`
+  labelled with one atomic proposition per non-empty place (as in the
+  paper: a proposition holds when its place contains a token).
+"""
+
+from repro.srn.net import StochasticRewardNet, Place, Transition
+from repro.srn.marking import Marking
+from repro.srn.reachability import build_mrm, ReachabilityGraph
+
+__all__ = ["StochasticRewardNet", "Place", "Transition", "Marking",
+           "build_mrm", "ReachabilityGraph"]

@@ -1,0 +1,284 @@
+"""Definition of stochastic reward nets.
+
+A stochastic reward net (SRN) extends a generalised stochastic Petri
+net with guards, marking-dependent rates and a reward function over
+markings [Ciardo, Muppala, Trivedi 1989].  The net structure here
+supports:
+
+* timed transitions with exponential firing delays whose rate may be a
+  constant or a function of the current marking;
+* immediate transitions with weights and priorities (they fire in zero
+  time; markings enabling one are *vanishing* and are eliminated
+  during state-space generation);
+* input, output and inhibitor arcs with integer multiplicities;
+* boolean guard functions per transition;
+* a rate-reward function over markings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ModelError
+from repro.srn.marking import Marking
+
+RateLike = Union[float, Callable[[Marking], float]]
+Guard = Callable[[Marking], bool]
+RewardFunction = Callable[[Marking], float]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place of the net."""
+    name: str
+    position: int
+    initial_tokens: int = 0
+
+
+@dataclass
+class Transition:
+    """A transition of the net (timed or immediate)."""
+    name: str
+    rate: Optional[RateLike]        # None for immediate transitions
+    weight: float = 1.0             # used by immediate transitions
+    priority: int = 0               # higher fires first (immediate only)
+    guard: Optional[Guard] = None
+    impulse: RateLike = 0.0         # instantaneous reward on firing
+    inputs: List[Tuple[int, int]] = field(default_factory=list)
+    outputs: List[Tuple[int, int]] = field(default_factory=list)
+    inhibitors: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_immediate(self) -> bool:
+        return self.rate is None
+
+    def is_enabled(self, marking: Marking) -> bool:
+        """Structural + guard enabling in *marking*."""
+        for position, multiplicity in self.inputs:
+            if marking[position] < multiplicity:
+                return False
+        for position, multiplicity in self.inhibitors:
+            if marking[position] >= multiplicity:
+                return False
+        if self.guard is not None and not self.guard(marking):
+            return False
+        return True
+
+    def impulse_in(self, marking: Marking) -> float:
+        """The impulse reward earned by firing in *marking*."""
+        value = (self.impulse(marking) if callable(self.impulse)
+                 else self.impulse)
+        if value < 0.0:
+            raise ModelError(
+                f"transition {self.name!r} has negative impulse "
+                f"{value} in {marking!r}")
+        return float(value)
+
+    def rate_in(self, marking: Marking) -> float:
+        """The firing rate in *marking* (timed transitions only)."""
+        if self.rate is None:
+            raise ModelError(
+                f"immediate transition {self.name!r} has no rate")
+        value = self.rate(marking) if callable(self.rate) else self.rate
+        if value < 0.0:
+            raise ModelError(
+                f"transition {self.name!r} has negative rate {value} "
+                f"in {marking!r}")
+        return float(value)
+
+    def fire(self, marking: Marking) -> Marking:
+        """The marking after firing in *marking*."""
+        deltas: Dict[int, int] = {}
+        for position, multiplicity in self.inputs:
+            deltas[position] = deltas.get(position, 0) - multiplicity
+        for position, multiplicity in self.outputs:
+            deltas[position] = deltas.get(position, 0) + multiplicity
+        return marking.with_delta(deltas)
+
+
+class StochasticRewardNet:
+    """A stochastic reward net under construction.
+
+    >>> net = StochasticRewardNet()
+    >>> net.add_place("idle", tokens=1)
+    >>> net.add_place("busy")
+    >>> net.add_timed_transition("work", rate=2.0,
+    ...                          inputs=["idle"], outputs=["busy"])
+    >>> net.add_timed_transition("rest", rate=1.0,
+    ...                          inputs=["busy"], outputs=["idle"])
+    >>> net.set_reward(lambda m: 5.0 if m["busy"] else 0.0)
+    """
+
+    def __init__(self):
+        self._places: Dict[str, Place] = {}
+        self._order: List[str] = []
+        self._transitions: Dict[str, Transition] = {}
+        self._reward: Optional[RewardFunction] = None
+        self._extra_labels: List[Tuple[str, Callable[[Marking], bool]]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_place(self, name: str, tokens: int = 0) -> None:
+        """Add a place with *tokens* initial tokens."""
+        if name in self._places:
+            raise ModelError(f"duplicate place {name!r}")
+        if tokens < 0:
+            raise ModelError(f"negative initial marking for {name!r}")
+        self._places[name] = Place(name=name,
+                                   position=len(self._order),
+                                   initial_tokens=tokens)
+        self._order.append(name)
+
+    def _resolve_arcs(self, arcs) -> List[Tuple[int, int]]:
+        resolved = []
+        for arc in arcs or []:
+            if isinstance(arc, tuple):
+                place, multiplicity = arc
+            else:
+                place, multiplicity = arc, 1
+            if place not in self._places:
+                raise ModelError(f"unknown place {place!r}")
+            if multiplicity < 1:
+                raise ModelError(
+                    f"arc multiplicity must be >= 1, got {multiplicity}")
+            resolved.append((self._places[place].position,
+                             int(multiplicity)))
+        return resolved
+
+    def add_timed_transition(self,
+                             name: str,
+                             rate: RateLike,
+                             inputs=None,
+                             outputs=None,
+                             inhibitors=None,
+                             guard: Optional[Guard] = None,
+                             impulse: RateLike = 0.0) -> None:
+        """Add an exponentially timed transition.
+
+        *inputs*, *outputs* and *inhibitors* are lists of place names
+        or ``(place, multiplicity)`` pairs.  *rate* may be a constant
+        or a function of the marking (marking-dependent rates);
+        *impulse* is an instantaneous reward earned when the
+        transition fires (constant or marking-dependent).
+        """
+        self._add_transition(name, rate=rate, weight=1.0, priority=0,
+                             inputs=inputs, outputs=outputs,
+                             inhibitors=inhibitors, guard=guard,
+                             impulse=impulse)
+
+    def add_immediate_transition(self,
+                                 name: str,
+                                 weight: float = 1.0,
+                                 priority: int = 1,
+                                 inputs=None,
+                                 outputs=None,
+                                 inhibitors=None,
+                                 guard: Optional[Guard] = None) -> None:
+        """Add an immediate transition (fires in zero time).
+
+        When several immediate transitions are enabled, the highest
+        *priority* wins; ties are resolved probabilistically by
+        *weight*.
+        """
+        if weight <= 0.0:
+            raise ModelError(
+                f"immediate transition {name!r} needs positive weight")
+        if priority < 1:
+            raise ModelError(
+                f"immediate transition {name!r} needs priority >= 1")
+        self._add_transition(name, rate=None, weight=weight,
+                             priority=priority, inputs=inputs,
+                             outputs=outputs, inhibitors=inhibitors,
+                             guard=guard, impulse=0.0)
+
+    def _add_transition(self, name, rate, weight, priority,
+                        inputs, outputs, inhibitors, guard,
+                        impulse=0.0) -> None:
+        if name in self._transitions:
+            raise ModelError(f"duplicate transition {name!r}")
+        self._transitions[name] = Transition(
+            name=name, rate=rate, weight=weight, priority=priority,
+            guard=guard, impulse=impulse,
+            inputs=self._resolve_arcs(inputs),
+            outputs=self._resolve_arcs(outputs),
+            inhibitors=self._resolve_arcs(inhibitors))
+
+    def set_reward(self, reward: RewardFunction) -> None:
+        """Set the rate-reward function over markings."""
+        self._reward = reward
+
+    def add_label(self, name: str,
+                  predicate: Callable[[Marking], bool]) -> None:
+        """Add a custom atomic proposition over markings.
+
+        By default every place name is a proposition (holding when the
+        place is non-empty); extra labels allow arbitrary predicates,
+        e.g. ``net.add_label("overloaded", lambda m: m["queue"] > 5)``.
+        """
+        self._extra_labels.append((name, predicate))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def place_names(self) -> List[str]:
+        """Place names in insertion order."""
+        return list(self._order)
+
+    @property
+    def transitions(self) -> List[Transition]:
+        """All transitions in insertion order."""
+        return list(self._transitions.values())
+
+    @property
+    def extra_labels(self):
+        """Custom labels added via :meth:`add_label`."""
+        return list(self._extra_labels)
+
+    def reward_of(self, marking: Marking) -> float:
+        """Evaluate the reward function (0 when none is set)."""
+        if self._reward is None:
+            return 0.0
+        value = float(self._reward(marking))
+        if value < 0.0:
+            raise ModelError(
+                f"negative reward {value} in marking {marking!r}")
+        return value
+
+    def initial_marking(self) -> Marking:
+        """The initial marking from the places' initial tokens."""
+        if not self._order:
+            raise ModelError("the net has no places")
+        index = {name: place.position
+                 for name, place in self._places.items()}
+        tokens = [self._places[name].initial_tokens
+                  for name in self._order]
+        return Marking(tokens, index)
+
+    def describe(self) -> str:
+        """A plain-text summary of the net structure."""
+        lines = ["places:"]
+        for name in self._order:
+            place = self._places[name]
+            lines.append(f"  {name} (initial: {place.initial_tokens})")
+        lines.append("transitions:")
+        for transition in self._transitions.values():
+            kind = ("immediate" if transition.is_immediate
+                    else f"rate={transition.rate!r}")
+            arcs = []
+            for position, mult in transition.inputs:
+                arcs.append(f"-{self._order[position]}"
+                            + (f"*{mult}" if mult > 1 else ""))
+            for position, mult in transition.outputs:
+                arcs.append(f"+{self._order[position]}"
+                            + (f"*{mult}" if mult > 1 else ""))
+            for position, mult in transition.inhibitors:
+                arcs.append(f"!{self._order[position]}"
+                            + (f"*{mult}" if mult > 1 else ""))
+            lines.append(f"  {transition.name} ({kind}) "
+                         + " ".join(arcs))
+        return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.ctmc import ModelBuilder, io
+
+
+@pytest.fixture
+def model_on_disk(tmp_path):
+    builder = ModelBuilder()
+    builder.add_state("a", labels=("green",), reward=1.0)
+    builder.add_state("b", labels=("red",), reward=0.0)
+    builder.add_transition("a", "b", 0.7)
+    io.save_mrm(builder.build(), tmp_path / "model")
+    return str(tmp_path / "model")
+
+
+class TestCheckCommand:
+    def test_holding_formula_exits_zero(self, model_on_disk, capsys):
+        code = cli.main(["check", "--model", model_on_disk,
+                         "--formula", "P>0.5 [ green U[0,3][0,1.2] red ]"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "holds initially: True" in output
+        assert "0.56" in output  # 1 - exp(-0.7*1.2) = 0.568...
+
+    def test_failing_formula_exits_one(self, model_on_disk, capsys):
+        code = cli.main(["check", "--model", model_on_disk,
+                         "--formula", "P>0.99 [ F[0,0.1] red ]"])
+        assert code == 1
+
+    def test_engine_selection(self, model_on_disk, capsys):
+        code = cli.main(["check", "--model", model_on_disk,
+                         "--engine", "erlang",
+                         "--formula", "P>0.5 [ green U[0,3][0,1.2] red ]"])
+        assert code == 0
+
+    def test_boolean_formula(self, model_on_disk, capsys):
+        code = cli.main(["check", "--model", model_on_disk,
+                         "--formula", "green | red"])
+        assert code == 0
+
+
+class TestLumpCommand:
+    @pytest.fixture
+    def symmetric_on_disk(self, tmp_path):
+        builder = ModelBuilder()
+        builder.add_state("idle")
+        builder.add_state("left", labels=("busy",))
+        builder.add_state("right", labels=("busy",))
+        builder.add_transition("idle", "left", 1.0)
+        builder.add_transition("idle", "right", 1.0)
+        io.save_mrm(builder.build(), tmp_path / "sym")
+        return str(tmp_path / "sym")
+
+    def test_reports_sizes(self, symmetric_on_disk, capsys):
+        assert cli.main(["lump", "--model", symmetric_on_disk]) == 0
+        output = capsys.readouterr().out
+        assert "original: 3 states" in output
+        assert "quotient: 2 states" in output
+
+    def test_writes_quotient(self, symmetric_on_disk, tmp_path,
+                             capsys):
+        out = str(tmp_path / "quotient")
+        assert cli.main(["lump", "--model", symmetric_on_disk,
+                         "--output", out]) == 0
+        loaded = io.load_mrm(out)
+        assert loaded.num_states == 2
+
+
+class TestExportCommand:
+    def test_dot_output(self, model_on_disk, capsys):
+        assert cli.main(["export-dot", "--model", model_on_disk]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+        assert "->" in output
+
+
+class TestOtherCommands:
+    def test_engines_listed(self, capsys):
+        assert cli.main(["engines"]) == 0
+        output = capsys.readouterr().out
+        assert "sericola" in output
+        assert "erlang" in output
+        assert "discretization" in output
+
+    def test_describe_case_study(self, capsys):
+        assert cli.main(["case-study", "--describe"]) == 0
+        output = capsys.readouterr().out
+        assert "doze" in output
+        assert "underlying MRM" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert cli.main([]) == 2
+        assert "usage" in capsys.readouterr().out

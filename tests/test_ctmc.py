@@ -1,0 +1,180 @@
+"""Unit tests for the CTMC core data structure."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc import CTMC
+from repro.errors import ModelError
+
+
+def simple_ctmc(**kwargs):
+    rates = [[0.0, 2.0, 0.0],
+             [1.0, 0.0, 1.0],
+             [0.0, 0.0, 0.0]]
+    return CTMC(rates, **kwargs)
+
+
+class TestConstruction:
+    def test_dense_input(self):
+        chain = simple_ctmc()
+        assert chain.num_states == 3
+        assert chain.num_transitions == 3
+
+    def test_sparse_input(self):
+        chain = CTMC(sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]])))
+        assert chain.num_states == 2
+        assert chain.rate(0, 1) == 1.0
+
+    def test_nested_list_input(self):
+        chain = CTMC([[0, 1], [2, 0]])
+        assert chain.rate(1, 0) == 2.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError, match="square"):
+            CTMC([[0.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            CTMC([[0.0, -1.0], [0.0, 0.0]])
+
+    def test_rejects_nan_rates(self):
+        with pytest.raises(ModelError, match="finite"):
+            CTMC([[0.0, float("nan")], [0.0, 0.0]])
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ModelError, match="at least one state"):
+            CTMC(np.zeros((0, 0)))
+
+    def test_explicit_zeros_pruned(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        matrix[0, 1] = 0.0  # stores an explicit zero
+        chain = CTMC(matrix)
+        assert chain.num_transitions == 1
+
+
+class TestStructure:
+    def test_exit_rates(self):
+        chain = simple_ctmc()
+        assert np.allclose(chain.exit_rates, [2.0, 2.0, 0.0])
+        assert chain.max_exit_rate == 2.0
+
+    def test_absorbing(self):
+        chain = simple_ctmc()
+        assert not chain.is_absorbing(0)
+        assert chain.is_absorbing(2)
+
+    def test_successors(self):
+        chain = simple_ctmc()
+        assert chain.successors(1) == [0, 2]
+        assert chain.successors(2) == []
+
+    def test_generator_row_sums_vanish(self):
+        generator = simple_ctmc().generator_matrix()
+        assert np.allclose(np.asarray(generator.sum(axis=1)).ravel(), 0.0)
+
+    def test_generator_diagonal(self):
+        generator = simple_ctmc().generator_matrix()
+        assert np.allclose(generator.diagonal(), [-2.0, -2.0, 0.0])
+
+
+class TestUniformization:
+    def test_default_rate_rows_are_stochastic(self):
+        matrix = simple_ctmc().uniformized_dtmc_matrix()
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+        assert matrix.min() >= 0.0
+
+    def test_larger_rate_allowed(self):
+        matrix = simple_ctmc().uniformized_dtmc_matrix(10.0)
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+        # Self-loop probability grows with the rate.
+        assert matrix[0, 0] == pytest.approx(0.8)
+
+    def test_rate_below_max_rejected(self):
+        with pytest.raises(ModelError, match="below the maximal"):
+            simple_ctmc().uniformized_dtmc_matrix(1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            simple_ctmc().uniformized_dtmc_matrix(0.0)
+
+    def test_transition_free_chain(self):
+        chain = CTMC(np.zeros((2, 2)))
+        matrix = chain.uniformized_dtmc_matrix()
+        assert np.allclose(matrix.toarray(), np.eye(2))
+
+
+class TestLabelling:
+    def test_states_with(self):
+        chain = simple_ctmc(labels={"odd": [1], "low": [0, 1]})
+        assert chain.states_with("odd") == frozenset({1})
+        assert chain.states_with("low") == frozenset({0, 1})
+
+    def test_unknown_proposition_is_empty(self):
+        chain = simple_ctmc()
+        assert chain.states_with("nonexistent") == frozenset()
+
+    def test_labels_of(self):
+        chain = simple_ctmc(labels={"odd": [1], "low": [0, 1]})
+        assert chain.labels_of(1) == {"odd", "low"}
+        assert chain.labels_of(2) == set()
+
+    def test_atomic_propositions_sorted(self):
+        chain = simple_ctmc(labels={"zeta": [0], "alpha": [1]})
+        assert chain.atomic_propositions == ["alpha", "zeta"]
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ModelError, match="refers to state"):
+            simple_ctmc(labels={"bad": [7]})
+
+
+class TestInitialDistribution:
+    def test_default_is_point_mass_on_zero(self):
+        chain = simple_ctmc()
+        assert np.allclose(chain.initial_distribution, [1.0, 0.0, 0.0])
+
+    def test_custom_distribution(self):
+        chain = simple_ctmc(initial_distribution=[0.5, 0.25, 0.25])
+        assert chain.initial_distribution[1] == 0.25
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ModelError, match="sums to"):
+            simple_ctmc(initial_distribution=[0.5, 0.25, 0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            simple_ctmc(initial_distribution=[1.5, -0.5, 0.0])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ModelError, match="shape"):
+            simple_ctmc(initial_distribution=[1.0, 0.0])
+
+
+class TestNames:
+    def test_named_states(self):
+        chain = simple_ctmc(state_names=["x", "y", "z"])
+        assert chain.name_of(1) == "y"
+        assert chain.state_index("z") == 2
+
+    def test_unnamed_states_use_indices(self):
+        chain = simple_ctmc()
+        assert chain.name_of(2) == "2"
+        assert chain.state_names is None
+
+    def test_unknown_name_rejected(self):
+        chain = simple_ctmc(state_names=["x", "y", "z"])
+        with pytest.raises(ModelError, match="no state named"):
+            chain.state_index("w")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError, match="unique"):
+            simple_ctmc(state_names=["x", "x", "z"])
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(ModelError, match="state names"):
+            simple_ctmc(state_names=["x"])
+
+    def test_repr_mentions_sizes(self):
+        assert "states=3" in repr(simple_ctmc())

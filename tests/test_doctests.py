@@ -1,0 +1,27 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.ctmc.builder
+import repro.logic.sugar
+import repro.mc.checker
+import repro.srn.net
+from repro.algorithms import base as algorithms_base
+
+MODULES = [
+    repro.ctmc.builder,
+    repro.logic.sugar,
+    repro.mc.checker,
+    repro.srn.net,
+    algorithms_base,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

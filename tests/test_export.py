@@ -1,0 +1,72 @@
+"""Tests for the DOT export helpers."""
+
+import pytest
+
+from repro.ctmc.export import model_to_dot, srn_to_dot
+from repro.models.adhoc import adhoc_model, build_adhoc_srn
+
+
+class TestModelExport:
+    def test_basic_structure(self, two_state_absorbing):
+        dot = model_to_dot(two_state_absorbing)
+        assert dot.startswith("digraph mrm {")
+        assert dot.rstrip().endswith("}")
+        assert "s0 -> s1" in dot
+        assert "0.7" in dot
+
+    def test_rewards_and_labels_shown(self, two_state_absorbing):
+        dot = model_to_dot(two_state_absorbing)
+        assert "rho=1" in dot
+        assert "green" in dot
+
+    def test_absorbing_state_double_circle(self, two_state_absorbing):
+        dot = model_to_dot(two_state_absorbing)
+        assert "peripheries=2" in dot
+
+    def test_initial_state_bold(self, two_state_absorbing):
+        dot = model_to_dot(two_state_absorbing)
+        assert "style=bold" in dot
+
+    def test_impulses_on_edges(self):
+        from repro.ctmc import ModelBuilder
+        builder = ModelBuilder()
+        builder.add_state("a")
+        builder.add_state("b")
+        builder.add_transition("a", "b", 2.0, impulse=5.0)
+        dot = model_to_dot(builder.build())
+        assert "2 / +5" in dot
+
+    def test_case_study_renders(self, adhoc):
+        dot = model_to_dot(adhoc, graph_name="station")
+        assert "digraph station" in dot
+        assert dot.count("->") == adhoc.num_transitions
+
+
+class TestSrnExport:
+    def test_case_study_net(self):
+        dot = srn_to_dot(build_adhoc_srn())
+        assert "p_call_idle" in dot
+        assert "t_launch" in dot
+        assert "p_call_idle -> t_launch" in dot
+        assert "t_wake_up -> p_call_idle" in dot
+
+    def test_inhibitors_and_immediates(self):
+        from repro.srn import StochasticRewardNet
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=2)
+        net.add_place("q")
+        net.add_timed_transition("t", 1.0, inputs=[("p", 2)],
+                                 inhibitors=["q"])
+        net.add_immediate_transition("i", inputs=["q"])
+        dot = srn_to_dot(net)
+        assert "arrowhead=odot" in dot
+        assert "fillcolor=black" in dot
+        assert 'label="2"' in dot
+
+    def test_marking_dependent_rate_placeholder(self):
+        from repro.srn import StochasticRewardNet
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        net.add_timed_transition("t", lambda m: m["p"] * 2.0,
+                                 inputs=["p"])
+        assert "f(m)" in srn_to_dot(net)

@@ -1,0 +1,113 @@
+"""Unit tests for the qualitative graph analyses."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import CTMC, graph
+
+
+def chain_of(n):
+    """A simple forward chain 0 -> 1 -> ... -> n-1."""
+    rates = np.zeros((n, n))
+    for i in range(n - 1):
+        rates[i, i + 1] = 1.0
+    return CTMC(rates)
+
+
+def two_bsccs():
+    """0 branches to {1,2} cycle and to absorbing 3."""
+    rates = np.zeros((4, 4))
+    rates[0, 1] = 1.0
+    rates[0, 3] = 1.0
+    rates[1, 2] = 1.0
+    rates[2, 1] = 1.0
+    return CTMC(rates)
+
+
+class TestReachability:
+    def test_forward_chain(self):
+        chain = chain_of(4)
+        assert graph.reachable(chain, [1]) == {1, 2, 3}
+        assert graph.reachable(chain, [3]) == {3}
+
+    def test_multiple_sources(self):
+        chain = chain_of(4)
+        assert graph.reachable(chain, [0, 3]) == {0, 1, 2, 3}
+
+    def test_backward(self):
+        chain = chain_of(4)
+        assert graph.backward_reachable(chain, [2]) == {0, 1, 2}
+
+    def test_backward_restricted(self):
+        chain = chain_of(4)
+        # Only state 1 may be an intermediate: 0 cannot pass.
+        assert graph.backward_reachable(chain, [2], through={1}) == {1, 2}
+
+    def test_accepts_raw_matrices(self):
+        adjacency = np.array([[0.0, 1.0], [0.0, 0.0]])
+        assert graph.reachable(adjacency, [0]) == {0, 1}
+
+
+class TestSCC:
+    def test_chain_has_singleton_sccs(self):
+        components = graph.strongly_connected_components(chain_of(3))
+        assert sorted(map(sorted, components)) == [[0], [1], [2]]
+
+    def test_cycle_is_one_scc(self):
+        rates = np.zeros((3, 3))
+        rates[0, 1] = rates[1, 2] = rates[2, 0] = 1.0
+        components = graph.strongly_connected_components(CTMC(rates))
+        assert components == [{0, 1, 2}]
+
+    def test_reverse_topological_order(self):
+        components = graph.strongly_connected_components(two_bsccs())
+        positions = {frozenset(c): i for i, c in enumerate(components)}
+        # The initial state's SCC must come after everything it reaches.
+        assert positions[frozenset({0})] > positions[frozenset({3})]
+        assert positions[frozenset({0})] > positions[frozenset({1, 2})]
+
+    def test_bottom_sccs(self):
+        bottoms = graph.bottom_sccs(two_bsccs())
+        assert sorted(map(sorted, bottoms)) == [[1, 2], [3]]
+
+    def test_irreducible_chain_single_bscc(self):
+        rates = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert graph.bottom_sccs(CTMC(rates)) == [{0, 1}]
+
+    def test_large_chain_no_recursion_limit(self):
+        # The iterative Tarjan must handle paths much deeper than
+        # Python's recursion limit.
+        chain = chain_of(5000)
+        components = graph.strongly_connected_components(chain)
+        assert len(components) == 5000
+
+
+class TestProb0Prob1:
+    def test_prob0_unreachable_target(self):
+        chain = chain_of(3)
+        # From state 2 nothing reaches state 0.
+        assert graph.prob0_states(chain, {0, 1, 2}, {0}) == {1, 2}
+
+    def test_prob0_blocked_by_phi(self):
+        chain = chain_of(3)
+        # phi = {0}: the only route 0 -> 1 -> 2 passes through the
+        # non-phi state 1, so both 0 and 1 have probability zero.
+        assert graph.prob0_states(chain, {0}, {2}) == {0, 1}
+        # Widening phi to {0, 1} unblocks the route completely.
+        assert graph.prob0_states(chain, {0, 1}, {2}) == set()
+
+    def test_prob1_absorbing_target(self):
+        chain = chain_of(3)
+        # Everything flows into 2, and phi covers everything.
+        assert graph.prob1_states(chain, {0, 1, 2}, {2}) == {0, 1, 2}
+
+    def test_prob1_with_branching(self):
+        chain = two_bsccs()
+        # From 0 there is a 50/50 race between the cycle and state 3.
+        prob1 = graph.prob1_states(chain, {0, 1, 2, 3}, {3})
+        assert 0 not in prob1
+        assert 3 in prob1
+
+    def test_psi_states_always_prob1_candidates(self):
+        chain = chain_of(2)
+        assert 1 in graph.prob1_states(chain, set(), {1})

@@ -1,0 +1,101 @@
+"""Unit tests for the interval bounds of CSRL."""
+
+import math
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.intervals import Interval
+
+
+class TestConstruction:
+    def test_default_is_unbounded(self):
+        interval = Interval()
+        assert interval.is_trivial
+        assert interval.lower == 0.0
+        assert math.isinf(interval.upper)
+
+    def test_upto(self):
+        interval = Interval.upto(5.0)
+        assert interval.lower == 0.0
+        assert interval.upper == 5.0
+        assert interval.is_downward_closed
+        assert not interval.is_trivial
+
+    def test_general_interval(self):
+        interval = Interval(1.0, 2.0)
+        assert not interval.is_downward_closed
+        assert not interval.is_point
+
+    def test_point_interval(self):
+        assert Interval(3.0, 3.0).is_point
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(-1.0, 2.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(3.0, 2.0)
+
+    def test_infinite_lower_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(math.inf, math.inf)
+
+    def test_nan_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(math.nan, 1.0)
+
+
+class TestOperations:
+    def test_contains(self):
+        interval = Interval(1.0, 3.0)
+        assert 1.0 in interval
+        assert 3.0 in interval
+        assert 2.0 in interval
+        assert 0.5 not in interval
+        assert 3.5 not in interval
+
+    def test_unbounded_contains_everything(self):
+        assert 1e100 in Interval.unbounded()
+
+    def test_intersect(self):
+        assert Interval(0.0, 2.0).intersect(Interval(1.0, 3.0)) \
+            == Interval(1.0, 2.0)
+
+    def test_intersect_empty(self):
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_intersect_touching(self):
+        assert Interval(0.0, 1.0).intersect(Interval(1.0, 2.0)) \
+            == Interval(1.0, 1.0)
+
+    def test_scaled(self):
+        assert Interval(1.0, 4.0).scaled(0.5) == Interval(0.5, 2.0)
+
+    def test_scaled_keeps_infinity(self):
+        scaled = Interval(1.0, math.inf).scaled(2.0)
+        assert scaled.lower == 2.0
+        assert math.isinf(scaled.upper)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(FormulaError):
+            Interval(0.0, 1.0).scaled(-1.0)
+
+    def test_equality_and_hash(self):
+        assert Interval(0.0, 5.0) == Interval.upto(5.0)
+        assert hash(Interval(0.0, 5.0)) == hash(Interval.upto(5.0))
+
+
+class TestFormatting:
+    def test_trivial(self):
+        assert str(Interval.unbounded()) == "[0,inf)"
+
+    def test_integral_bounds_print_as_ints(self):
+        assert str(Interval.upto(24.0)) == "[0,24]"
+
+    def test_fractional_bounds(self):
+        assert str(Interval(0.0, 2.5)) == "[0,2.5]"
+
+    def test_infinite_upper_with_lower(self):
+        assert str(Interval(1.0, math.inf)) == "[1,inf]"

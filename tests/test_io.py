@@ -1,0 +1,184 @@
+"""Unit tests for the MRMC-style file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import ModelBuilder, io
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def model():
+    builder = ModelBuilder()
+    builder.add_state("a", labels=("green",), reward=2.5)
+    builder.add_state("b", labels=("green", "red"))
+    builder.add_state("c", reward=1.0)
+    builder.add_transition("a", "b", 0.5)
+    builder.add_transition("b", "c", 1.25)
+    builder.add_transition("c", "a", 3.0)
+    return builder.build(initial_state="a")
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, model, tmp_path):
+        base = tmp_path / "model"
+        io.save_mrm(model, base)
+        loaded = io.load_mrm(base)
+        assert loaded.num_states == model.num_states
+        assert np.allclose(loaded.rate_matrix.toarray(),
+                           model.rate_matrix.toarray())
+        assert np.allclose(loaded.rewards, model.rewards)
+        assert loaded.states_with("green") == model.states_with("green")
+        assert loaded.states_with("red") == model.states_with("red")
+
+    def test_round_trip_preserves_exact_floats(self, model, tmp_path):
+        base = tmp_path / "model"
+        io.save_mrm(model, base)
+        loaded = io.load_mrm(base)
+        # repr-based serialisation is lossless for doubles.
+        assert loaded.rate(1, 2) == 1.25
+
+    def test_missing_optional_files(self, model, tmp_path):
+        base = tmp_path / "model"
+        io.write_tra(model, str(base) + ".tra")
+        loaded = io.load_mrm(base)
+        assert np.allclose(loaded.rewards, 0.0)
+        assert loaded.atomic_propositions == []
+
+    def test_initial_state_selection(self, model, tmp_path):
+        base = tmp_path / "model"
+        io.save_mrm(model, base)
+        loaded = io.load_mrm(base, initial_state=2)
+        assert loaded.initial_distribution[2] == 1.0
+
+    def test_initial_state_out_of_range(self, model, tmp_path):
+        base = tmp_path / "model"
+        io.save_mrm(model, base)
+        with pytest.raises(ModelError):
+            io.load_mrm(base, initial_state=10)
+
+
+class TestTraParsing:
+    def test_reads_basic_file(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 2 0.5\n")
+        matrix = io.read_tra(path)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 1] == 0.5
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text(
+            "% a comment\nSTATES 2\n\nTRANSITIONS 1\n# more\n1 2 0.5\n")
+        assert io.read_tra(path).nnz == 1
+
+    def test_missing_states_header(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("1 2 0.5\n")
+        with pytest.raises(ModelError, match="STATES"):
+            io.read_tra(path)
+
+    def test_transition_count_mismatch(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 5\n1 2 0.5\n")
+        with pytest.raises(ModelError, match="promises"):
+            io.read_tra(path)
+
+    def test_out_of_range_state(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 7 0.5\n")
+        with pytest.raises(ModelError, match="outside"):
+            io.read_tra(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 2 0.5 9\n")
+        with pytest.raises(ModelError, match="expected"):
+            io.read_tra(path)
+
+    def test_duplicate_transitions_accumulate(self, tmp_path):
+        path = tmp_path / "m.tra"
+        path.write_text("STATES 2\nTRANSITIONS 2\n1 2 0.5\n1 2 0.25\n")
+        assert io.read_tra(path)[0, 1] == 0.75
+
+
+class TestLabParsing:
+    def test_declaration_enforced(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("#DECLARATION\ngreen\n#END\n1 red\n")
+        with pytest.raises(ModelError, match="not declared"):
+            io.read_lab(path, 2)
+
+    def test_declared_but_unused_label_is_empty(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("#DECLARATION\ngreen red\n#END\n1 green\n")
+        labels = io.read_lab(path, 2)
+        assert labels["red"] == set()
+        assert labels["green"] == {0}
+
+    def test_without_declaration_block(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("1 green\n2 green red\n")
+        labels = io.read_lab(path, 2)
+        assert labels["green"] == {0, 1}
+        assert labels["red"] == {1}
+
+    def test_state_out_of_range(self, tmp_path):
+        path = tmp_path / "m.lab"
+        path.write_text("5 green\n")
+        with pytest.raises(ModelError, match="outside"):
+            io.read_lab(path, 2)
+
+
+class TestRewiRoundTrip:
+    def test_impulse_round_trip(self, tmp_path):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        builder.add_state("b")
+        builder.add_transition("a", "b", 1.0, impulse=2.5)
+        builder.add_transition("b", "a", 2.0)
+        model = builder.build()
+        base = tmp_path / "model"
+        io.save_mrm(model, base)
+        assert (tmp_path / "model.rewi").exists()
+        loaded = io.load_mrm(base)
+        assert loaded.has_impulse_rewards
+        assert loaded.impulse(0, 1) == 2.5
+        assert loaded.impulse(1, 0) == 0.0
+
+    def test_no_rewi_without_impulses(self, model, tmp_path):
+        io.save_mrm(model, tmp_path / "model")
+        assert not (tmp_path / "model.rewi").exists()
+
+    def test_rewi_state_out_of_range(self, tmp_path):
+        path = tmp_path / "m.rewi"
+        path.write_text("1 9 2.0\n")
+        with pytest.raises(ModelError, match="outside"):
+            io.read_rewi(path, 2)
+
+    def test_rewi_malformed_line(self, tmp_path):
+        path = tmp_path / "m.rewi"
+        path.write_text("1 2\n")
+        with pytest.raises(ModelError, match="expected"):
+            io.read_rewi(path, 2)
+
+
+class TestRewParsing:
+    def test_reads_rewards(self, tmp_path):
+        path = tmp_path / "m.rew"
+        path.write_text("1 2.5\n3 1.0\n")
+        rewards = io.read_rew(path, 3)
+        assert np.allclose(rewards, [2.5, 0.0, 1.0])
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "m.rew"
+        path.write_text("1 2.5 extra\n")
+        with pytest.raises(ModelError, match="expected"):
+            io.read_rew(path, 2)
+
+    def test_zero_rewards_not_written(self, model, tmp_path):
+        path = tmp_path / "m.rew"
+        io.write_rew(model, path)
+        content = path.read_text()
+        assert "2 " not in content  # state b has reward 0
+        assert content.count("\n") == 2

@@ -1,0 +1,157 @@
+"""Unit tests for the CSRL abstract syntax."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic import ast
+from repro.logic.intervals import Interval
+from repro.logic import sugar as f
+
+
+class TestAtomic:
+    def test_valid_names(self):
+        assert ast.Atomic("call_idle").name == "call_idle"
+        assert ast.Atomic("x2").name == "x2"
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(FormulaError):
+            ast.Atomic("a-b")
+        with pytest.raises(FormulaError):
+            ast.Atomic("")
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(FormulaError):
+            ast.Atomic("2fast")
+
+
+class TestStructuralEquality:
+    def test_equal_formulas(self):
+        a = ast.Until(ast.Atomic("x"), ast.Atomic("y"),
+                      Interval.upto(1.0), Interval.unbounded())
+        b = ast.Until(ast.Atomic("x"), ast.Atomic("y"),
+                      Interval.upto(1.0), Interval.unbounded())
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_bounds_differ(self):
+        a = ast.Next(ast.Atomic("x"), Interval.upto(1.0))
+        b = ast.Next(ast.Atomic("x"), Interval.upto(2.0))
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        cache = {ast.Not(ast.Atomic("x")): 42}
+        assert cache[ast.Not(ast.Atomic("x"))] == 42
+
+
+class TestProbOperator:
+    def test_valid(self):
+        prob = ast.Prob(">", 0.5, ast.Next(ast.TRUE))
+        assert prob.comparison == ">"
+        assert prob.bound == 0.5
+
+    def test_invalid_comparison(self):
+        with pytest.raises(FormulaError):
+            ast.Prob("==", 0.5, ast.Next(ast.TRUE))
+
+    def test_bound_outside_unit_interval(self):
+        with pytest.raises(FormulaError):
+            ast.Prob(">", 1.5, ast.Next(ast.TRUE))
+        with pytest.raises(FormulaError):
+            ast.Prob(">", -0.1, ast.Next(ast.TRUE))
+
+    def test_compare_helper(self):
+        assert ast.compare(0.6, ">", 0.5)
+        assert ast.compare(0.5, ">=", 0.5)
+        assert not ast.compare(0.5, ">", 0.5)
+        assert ast.compare(0.4, "<", 0.5)
+        assert ast.compare(0.5, "<=", 0.5)
+        with pytest.raises(FormulaError):
+            ast.compare(0.5, "!=", 0.5)
+
+
+class TestOperatorSugar:
+    def test_python_operators(self):
+        x, y = ast.Atomic("x"), ast.Atomic("y")
+        assert (x & y) == ast.And(x, y)
+        assert (x | y) == ast.Or(x, y)
+        assert ~x == ast.Not(x)
+        assert x.implies(y) == ast.Implies(x, y)
+
+    def test_sugar_module(self):
+        assert f.conj() == ast.TRUE
+        assert f.disj() == ast.FALSE
+        assert f.conj(f.ap("a"), f.ap("b"), f.ap("c")) == ast.And(
+            ast.And(ast.Atomic("a"), ast.Atomic("b")), ast.Atomic("c"))
+
+    def test_sugar_bounds_normalisation(self):
+        u = f.until(f.ap("a"), f.ap("b"), time=24, reward=600)
+        assert u.time == Interval.upto(24.0)
+        assert u.reward == Interval.upto(600.0)
+        unbounded = f.eventually(f.ap("a"))
+        assert unbounded.time.is_trivial
+        assert unbounded.reward.is_trivial
+
+    def test_sugar_accepts_interval_objects(self):
+        u = f.next_(f.ap("a"), time=Interval(1.0, 2.0))
+        assert u.time == Interval(1.0, 2.0)
+
+
+class TestTraversal:
+    def test_subformulas(self):
+        formula = ast.Prob(">", 0.1, ast.Until(
+            ast.Or(ast.Atomic("a"), ast.Atomic("b")), ast.Atomic("c")))
+        kinds = [type(node).__name__ for node in formula.subformulas()]
+        assert kinds == ["Prob", "Until", "Or", "Atomic", "Atomic",
+                         "Atomic"]
+
+    def test_atomic_propositions(self):
+        formula = ast.And(ast.Atomic("a"),
+                          ast.Prob("<", 0.5, ast.Eventually(
+                              ast.Atomic("b"))))
+        assert formula.atomic_propositions() == {"a", "b"}
+
+    def test_eventually_desugars(self):
+        eventually = ast.Eventually(ast.Atomic("x"), Interval.upto(2.0),
+                                    Interval.upto(3.0))
+        until = eventually.as_until()
+        assert until.left == ast.TRUE
+        assert until.right == ast.Atomic("x")
+        assert until.time == Interval.upto(2.0)
+        assert until.reward == Interval.upto(3.0)
+
+
+class TestPrinting:
+    def test_atomic(self):
+        assert str(ast.Atomic("busy")) == "busy"
+
+    def test_boolean_operators(self):
+        x, y = ast.Atomic("x"), ast.Atomic("y")
+        assert str(x & y) == "x & y"
+        assert str(~(x | y)) == "!(x | y)"
+        assert str(x.implies(y)) == "x => y"
+
+    def test_until_with_both_bounds(self):
+        formula = ast.Prob(">", 0.5, ast.Until(
+            ast.Or(ast.Atomic("call_idle"), ast.Atomic("doze")),
+            ast.Atomic("call_initiated"),
+            Interval.upto(24.0), Interval.upto(600.0)))
+        assert str(formula) == ("P>0.5 [ (call_idle | doze) "
+                                "U[0,24][0,600] call_initiated ]")
+
+    def test_until_time_only(self):
+        formula = ast.Until(ast.TRUE, ast.Atomic("x"), Interval.upto(5.0))
+        assert str(formula) == "true U[0,5] x"
+
+    def test_until_reward_only_keeps_time_marker(self):
+        formula = ast.Until(ast.TRUE, ast.Atomic("x"),
+                            Interval.unbounded(), Interval.upto(5.0))
+        # The trivial time bound is printed in parsable form so the
+        # reward bracket cannot be mistaken for a time bound.
+        assert str(formula) == "true U[0,inf][0,5] x"
+
+    def test_next_unbounded(self):
+        assert str(ast.Next(ast.Atomic("x"))) == "X x"
+
+    def test_steady_state(self):
+        assert str(ast.SteadyState(">=", 0.9, ast.Atomic("up"))) \
+            == "S>=0.9 [ up ]"

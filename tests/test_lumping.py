@@ -1,0 +1,162 @@
+"""Unit tests for ordinary lumpability (bisimulation minimisation)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import ModelBuilder
+from repro.ctmc.lumping import lump
+from repro.mc import ModelChecker
+
+
+def symmetric_pair():
+    """Two interchangeable workers feeding one sink: the two 'one
+    worker busy' states are bisimilar."""
+    builder = ModelBuilder()
+    builder.add_state("both_idle", labels=("idle",), reward=0.0)
+    builder.add_state("left_busy", labels=("busy",), reward=1.0)
+    builder.add_state("right_busy", labels=("busy",), reward=1.0)
+    builder.add_state("done", labels=("done",), reward=0.0)
+    builder.add_transition("both_idle", "left_busy", 2.0)
+    builder.add_transition("both_idle", "right_busy", 2.0)
+    builder.add_transition("left_busy", "done", 3.0)
+    builder.add_transition("right_busy", "done", 3.0)
+    return builder.build(initial_state="both_idle")
+
+
+class TestBasicLumping:
+    def test_symmetric_states_merge(self):
+        result = lump(symmetric_pair())
+        assert result.num_blocks == 3
+        merged = [b for b in result.blocks if len(b) == 2]
+        assert merged == [[1, 2]]
+
+    def test_quotient_rates_accumulate(self):
+        result = lump(symmetric_pair())
+        quotient = result.quotient
+        idle = int(result.block_of[0])
+        busy = int(result.block_of[1])
+        done = int(result.block_of[3])
+        assert quotient.rate(idle, busy) == 4.0  # 2 + 2
+        assert quotient.rate(busy, done) == 3.0
+
+    def test_rewards_and_labels_preserved(self):
+        result = lump(symmetric_pair())
+        quotient = result.quotient
+        busy = int(result.block_of[1])
+        assert quotient.reward(busy) == 1.0
+        assert quotient.states_with("busy") == frozenset({busy})
+
+    def test_different_rewards_do_not_merge(self):
+        model = symmetric_pair().with_rewards([0.0, 1.0, 2.0, 0.0])
+        result = lump(model)
+        assert result.num_blocks == 4
+
+    def test_different_labels_do_not_merge(self):
+        builder = ModelBuilder()
+        builder.add_state("a", labels=("x",))
+        builder.add_state("b", labels=("y",))
+        model = builder.build()
+        assert lump(model).num_blocks == 2
+
+    def test_dropping_labels_coarsens(self):
+        builder = ModelBuilder()
+        builder.add_state("a", labels=("x",))
+        builder.add_state("b", labels=("y",))
+        model = builder.build(initial_distribution=[0.5, 0.5])
+        result = lump(model, respect_labels=())
+        assert result.num_blocks == 1
+
+    def test_rate_refinement_propagates(self):
+        # Same labels/rewards, but one state reaches a distinguishable
+        # state faster: refinement must separate their predecessors
+        # too.
+        builder = ModelBuilder()
+        builder.add_state("p1")
+        builder.add_state("p2")
+        builder.add_state("q1")
+        builder.add_state("q2")
+        builder.add_state("goal", labels=("goal",))
+        builder.add_transition("p1", "q1", 1.0)
+        builder.add_transition("p2", "q2", 1.0)
+        builder.add_transition("q1", "goal", 1.0)
+        builder.add_transition("q2", "goal", 5.0)
+        model = builder.build(initial_distribution=[0.5, 0.5, 0, 0, 0])
+        result = lump(model, respect_initial=False)
+        assert result.block_of[0] != result.block_of[1]
+        assert result.block_of[2] != result.block_of[3]
+
+    def test_initial_distribution_aggregates(self):
+        model = symmetric_pair()
+        result = lump(model)
+        assert result.quotient.initial_distribution.sum() \
+            == pytest.approx(1.0)
+
+    def test_lift_vector(self):
+        result = lump(symmetric_pair())
+        block_values = np.arange(result.num_blocks, dtype=float)
+        lifted = result.lift(block_values)
+        assert lifted[1] == lifted[2]
+        assert len(lifted) == 4
+
+    def test_lift_set(self):
+        result = lump(symmetric_pair())
+        busy_block = int(result.block_of[1])
+        assert result.lift_set({busy_block}) == frozenset({1, 2})
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("formula", [
+        "P>0.1 [ F[0,2] done ]",
+        "P>0.1 [ idle U[0,2][0,1] done ]",
+        "P>0.5 [ X busy ]",
+    ])
+    def test_probabilities_invariant(self, formula):
+        model = symmetric_pair()
+        result = lump(model)
+        original = ModelChecker(model, epsilon=1e-10).check(formula)
+        quotient = ModelChecker(result.quotient,
+                                epsilon=1e-10).check(formula)
+        lifted = result.lift(quotient.probabilities)
+        assert np.allclose(lifted, original.probabilities, atol=1e-9)
+
+    def test_adhoc_model_is_already_minimal(self, adhoc):
+        result = lump(adhoc)
+        assert result.num_blocks == adhoc.num_states
+
+    def test_cluster_collapse_without_labels(self):
+        # A symmetric model whose per-station identity is dropped.
+        from repro.models.workloads import workstation_cluster
+        model = workstation_cluster(6)
+        result = lump(model)
+        # Birth-death chains are already minimal.
+        assert result.num_blocks == model.num_states
+
+    def test_replicated_model_shrinks(self):
+        """Two independent copies of a 2-state component, observed only
+        through the count of 'up' copies: 4 states lump to 3."""
+        builder = ModelBuilder()
+        for left in (0, 1):
+            for right in (0, 1):
+                count = left + right
+                builder.add_state(f"s{left}{right}",
+                                  labels=(f"up{count}",),
+                                  reward=float(count))
+        def idx(l, r):
+            return l * 2 + r
+        for left in (0, 1):
+            for right in (0, 1):
+                if left == 1:
+                    builder.add_transition(idx(left, right),
+                                           idx(0, right), 1.0)
+                else:
+                    builder.add_transition(idx(left, right),
+                                           idx(1, right), 2.0)
+                if right == 1:
+                    builder.add_transition(idx(left, right),
+                                           idx(left, 0), 1.0)
+                else:
+                    builder.add_transition(idx(left, right),
+                                           idx(left, 1), 2.0)
+        model = builder.build(initial_state="s11")
+        result = lump(model)
+        assert result.num_blocks == 3

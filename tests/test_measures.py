@@ -1,0 +1,89 @@
+"""Unit tests for the performability measures module."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import ModelBuilder
+from repro.mc import measures
+from repro.models.workloads import degradable_multiprocessor
+
+
+class TestPerformabilityDistribution:
+    def test_two_state_closed_form(self, two_state_absorbing):
+        # Y_t = min(T, t) with T ~ Exp(mu): Pr{Y_t <= r} = 1 - e^{-mu r}
+        # for r < t (and 1 for r >= t).
+        t, r = 3.0, 1.2
+        value = measures.performability_distribution(
+            two_state_absorbing, t, r)
+        assert value == pytest.approx(1.0 - np.exp(-0.7 * r), abs=1e-9)
+
+    def test_r_at_least_t_is_certain(self, two_state_absorbing):
+        value = measures.performability_distribution(
+            two_state_absorbing, 3.0, 3.0)
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, three_level_chain):
+        t = 2.0
+        grid = np.linspace(0.0, 6.0, 13)
+        values = [measures.performability_distribution(
+            three_level_chain, t, r) for r in grid]
+        assert all(later >= earlier - 1e-9
+                   for earlier, later in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_engine_selection(self, two_state_absorbing):
+        t, r = 2.0, 1.0
+        sericola = measures.performability_distribution(
+            two_state_absorbing, t, r, engine="sericola")
+        from repro.algorithms import ErlangEngine
+        erlang = measures.performability_distribution(
+            two_state_absorbing, t, r, engine=ErlangEngine(phases=1024))
+        assert erlang == pytest.approx(sericola, abs=5e-4)
+
+    def test_vector_variant(self, two_state_absorbing):
+        vector = measures.performability_distribution_vector(
+            two_state_absorbing, 3.0, 1.2)
+        assert vector.shape == (2,)
+        assert vector[1] == pytest.approx(1.0)  # zero-reward absorbing
+
+    def test_meyer_multiprocessor_example(self):
+        """Meyer's setting: accumulated computation of a degradable
+        multiprocessor.  With no repair and 2 processors the work done
+        by time t is stochastically below 2t, and the distribution at
+        r = 2t must be 1."""
+        model = degradable_multiprocessor(2, failure_rate=0.5,
+                                          repair_rate=0.0)
+        t = 1.0
+        assert measures.performability_distribution(model, t, 2 * t) \
+            == pytest.approx(1.0, abs=1e-9)
+        partial = measures.performability_distribution(model, t, t)
+        assert 0.0 < partial < 1.0
+
+
+class TestExpectedRewards:
+    def test_expected_rate_at_time_zero(self, three_level_chain):
+        assert measures.expected_reward_rate(three_level_chain, 0.0) \
+            == pytest.approx(3.0)
+
+    def test_accumulated_at_most_peak(self, three_level_chain):
+        t = 2.0
+        value = measures.expected_accumulated_reward(three_level_chain, t)
+        assert 0.0 < value <= 3.0 * t
+
+    def test_long_run_reward_rate_irreducible(self, flip_flop):
+        rates = measures.long_run_reward_rate(flip_flop)
+        # pi = (0.75, 0.25), rewards (2, 0).
+        assert np.allclose(rates, 1.5)
+
+    def test_long_run_reward_rate_reducible(self):
+        builder = ModelBuilder()
+        builder.add_state("start", reward=9.0)
+        builder.add_state("left", reward=2.0)
+        builder.add_state("right", reward=4.0)
+        builder.add_transition("start", "left", 1.0)
+        builder.add_transition("start", "right", 3.0)
+        model = builder.build()
+        rates = measures.long_run_reward_rate(model)
+        assert rates[0] == pytest.approx(0.25 * 2.0 + 0.75 * 4.0)
+        assert rates[1] == pytest.approx(2.0)
+        assert rates[2] == pytest.approx(4.0)

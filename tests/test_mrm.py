@@ -1,0 +1,174 @@
+"""Unit tests for Markov reward models and the builder."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import MarkovRewardModel, ModelBuilder
+from repro.errors import ModelError, RewardError
+
+
+def small_mrm():
+    rates = [[0.0, 1.0], [2.0, 0.0]]
+    return MarkovRewardModel(rates, rewards=[1.5, 0.0])
+
+
+class TestRewards:
+    def test_reward_access(self):
+        model = small_mrm()
+        assert model.reward(0) == 1.5
+        assert model.max_reward == 1.5
+
+    def test_default_rewards_are_zero(self):
+        model = MarkovRewardModel([[0.0, 1.0], [0.0, 0.0]])
+        assert np.allclose(model.rewards, 0.0)
+
+    def test_rejects_negative_rewards(self):
+        with pytest.raises(RewardError):
+            MarkovRewardModel([[0.0]], rewards=[-1.0])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ModelError):
+            MarkovRewardModel([[0.0, 1.0], [0.0, 0.0]], rewards=[1.0])
+
+    def test_rejects_nan_reward(self):
+        with pytest.raises(RewardError):
+            MarkovRewardModel([[0.0]], rewards=[float("inf")])
+
+    def test_distinct_rewards_sorted(self):
+        model = MarkovRewardModel(np.zeros((4, 4)),
+                                  rewards=[2.0, 0.0, 2.0, 1.0])
+        assert np.allclose(model.distinct_rewards(), [0.0, 1.0, 2.0])
+
+    def test_reward_partition(self):
+        model = MarkovRewardModel(np.zeros((4, 4)),
+                                  rewards=[2.0, 0.0, 2.0, 1.0])
+        partition = model.reward_partition()
+        assert [list(block) for block in partition] == [[1], [3], [0, 2]]
+
+    def test_integer_reward_detection(self):
+        assert MarkovRewardModel(np.zeros((2, 2)),
+                                 rewards=[3.0, 0.0]).has_integer_rewards()
+        assert not MarkovRewardModel(
+            np.zeros((2, 2)), rewards=[0.5, 0.0]).has_integer_rewards()
+
+
+class TestDerivedModels:
+    def test_as_ctmc_drops_rewards(self):
+        plain = small_mrm().as_ctmc()
+        assert not hasattr(plain, "rewards")
+
+    def test_with_rewards(self):
+        modified = small_mrm().with_rewards([0.0, 7.0])
+        assert modified.reward(1) == 7.0
+        assert small_mrm().reward(1) == 0.0  # original untouched
+
+    def test_with_initial_state(self):
+        moved = small_mrm().with_initial_state(1)
+        assert np.allclose(moved.initial_distribution, [0.0, 1.0])
+
+    def test_with_initial_state_out_of_range(self):
+        with pytest.raises(ModelError):
+            small_mrm().with_initial_state(5)
+
+    def test_scaled_rewards(self):
+        scaled = small_mrm().scaled_rewards(2.0)
+        assert scaled.reward(0) == 3.0
+
+    def test_scaled_rewards_rejects_nonpositive(self):
+        with pytest.raises(RewardError):
+            small_mrm().scaled_rewards(0.0)
+
+    def test_scaling_makes_rationals_integral(self):
+        model = MarkovRewardModel(np.zeros((2, 2)), rewards=[0.5, 0.25])
+        assert model.scaled_rewards(4.0).has_integer_rewards()
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        builder = ModelBuilder()
+        builder.add_state("a", labels=("x",), reward=1.0)
+        builder.add_state("b")
+        builder.add_transition("a", "b", 2.0)
+        model = builder.build(initial_state="b")
+        assert model.num_states == 2
+        assert model.rate(0, 1) == 2.0
+        assert model.states_with("x") == frozenset({0})
+        assert model.initial_distribution[1] == 1.0
+
+    def test_default_names(self):
+        builder = ModelBuilder()
+        builder.add_state()
+        builder.add_state()
+        model = builder.build()
+        assert model.state_names == ["s0", "s1"]
+
+    def test_duplicate_state_rejected(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        with pytest.raises(ModelError, match="duplicate"):
+            builder.add_state("a")
+
+    def test_parallel_transitions_accumulate(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        builder.add_state("b")
+        builder.add_transition("a", "b", 1.0)
+        builder.add_transition("a", "b", 2.5)
+        assert builder.build().rate(0, 1) == 3.5
+
+    def test_zero_rate_ignored(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        builder.add_state("b")
+        builder.add_transition("a", "b", 0.0)
+        assert builder.build().num_transitions == 0
+
+    def test_negative_rate_rejected(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        with pytest.raises(ModelError, match="negative"):
+            builder.add_transition("a", "a", -1.0)
+
+    def test_unknown_state_rejected(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        with pytest.raises(ModelError, match="unknown state"):
+            builder.add_transition("a", "nope", 1.0)
+
+    def test_index_out_of_range_rejected(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        with pytest.raises(ModelError, match="out of range"):
+            builder.resolve(3)
+
+    def test_set_reward_and_label_later(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        builder.set_reward("a", 4.0)
+        builder.add_label("a", "extra")
+        model = builder.build()
+        assert model.reward(0) == 4.0
+        assert model.states_with("extra") == frozenset({0})
+
+    def test_initial_distribution(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        builder.add_state("b")
+        model = builder.build(initial_distribution=[0.25, 0.75])
+        assert model.initial_distribution[1] == 0.75
+
+    def test_both_initial_forms_rejected(self):
+        builder = ModelBuilder()
+        builder.add_state("a")
+        with pytest.raises(ModelError, match="not both"):
+            builder.build(initial_state="a", initial_distribution=[1.0])
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ModelError, match="no states"):
+            ModelBuilder().build()
+
+    def test_num_states_property(self):
+        builder = ModelBuilder()
+        assert builder.num_states == 0
+        builder.add_state("a")
+        assert builder.num_states == 1

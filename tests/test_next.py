@@ -1,0 +1,103 @@
+"""Unit tests for the NEXT operator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import ModelBuilder
+from repro.logic.intervals import Interval
+from repro.mc.next_op import admissible_jump_window, next_probabilities
+
+
+@pytest.fixture
+def splitter():
+    """s (reward 2, exit rate 4) jumps to red (3/4) or blue (1/4)."""
+    builder = ModelBuilder()
+    builder.add_state("s", reward=2.0)
+    builder.add_state("red", labels=("red",))
+    builder.add_state("blue", labels=("blue",))
+    builder.add_transition("s", "red", 3.0)
+    builder.add_transition("s", "blue", 1.0)
+    return builder.build(initial_state="s")
+
+
+class TestJumpWindow:
+    def test_no_reward_constraint(self):
+        window = admissible_jump_window(2.0, Interval.upto(3.0),
+                                        Interval.unbounded())
+        assert window == Interval.upto(3.0)
+
+    def test_reward_constraint_tightens_time(self):
+        # reward rate 2, reward <= 4 -> jump <= 2.
+        window = admissible_jump_window(2.0, Interval.upto(3.0),
+                                        Interval.upto(4.0))
+        assert window == Interval.upto(2.0)
+
+    def test_reward_lower_bound(self):
+        window = admissible_jump_window(2.0, Interval.upto(3.0),
+                                        Interval(2.0, 8.0))
+        assert window == Interval(1.0, 3.0)
+
+    def test_empty_intersection(self):
+        window = admissible_jump_window(1.0, Interval.upto(1.0),
+                                        Interval(5.0, 6.0))
+        assert window is None
+
+    def test_zero_reward_rate_needs_zero_in_interval(self):
+        assert admissible_jump_window(
+            0.0, Interval.upto(2.0), Interval(1.0, 2.0)) is None
+        assert admissible_jump_window(
+            0.0, Interval.upto(2.0), Interval.upto(5.0)) \
+            == Interval.upto(2.0)
+
+
+class TestNextProbabilities:
+    def test_unbounded(self, splitter):
+        probs = next_probabilities(splitter, {1}, Interval.unbounded(),
+                                   Interval.unbounded())
+        assert probs[0] == pytest.approx(0.75)
+
+    def test_time_bounded(self, splitter):
+        t = 0.5
+        probs = next_probabilities(splitter, {1}, Interval.upto(t),
+                                   Interval.unbounded())
+        assert probs[0] == pytest.approx(0.75 * (1.0 - np.exp(-4.0 * t)))
+
+    def test_reward_bound_converts_to_time(self, splitter):
+        # reward rate 2, bound 1.5 -> jump before 0.75.
+        probs = next_probabilities(splitter, {1}, Interval.unbounded(),
+                                   Interval.upto(1.5))
+        assert probs[0] == pytest.approx(
+            0.75 * (1.0 - np.exp(-4.0 * 0.75)))
+
+    def test_general_intervals(self, splitter):
+        # Jump in [0.25, 1] and reward 2*tau in [1, 4] -> tau in
+        # [0.5, 1].
+        probs = next_probabilities(splitter, {1}, Interval(0.25, 1.0),
+                                   Interval(1.0, 4.0))
+        expected = 0.75 * (np.exp(-4.0 * 0.5) - np.exp(-4.0 * 1.0))
+        assert probs[0] == pytest.approx(expected, abs=1e-12)
+
+    def test_absorbing_state_has_no_next(self, splitter):
+        probs = next_probabilities(splitter, {1}, Interval.unbounded(),
+                                   Interval.unbounded())
+        assert probs[1] == 0.0
+        assert probs[2] == 0.0
+
+    def test_target_not_reachable_in_one_step(self, splitter):
+        probs = next_probabilities(splitter, {0}, Interval.unbounded(),
+                                   Interval.unbounded())
+        assert probs[0] == 0.0
+
+    def test_empty_window_gives_zero(self, splitter):
+        probs = next_probabilities(splitter, {1}, Interval.upto(1.0),
+                                   Interval(100.0, 200.0))
+        assert probs[0] == 0.0
+
+    def test_sum_over_disjoint_targets(self, splitter):
+        bounds = (Interval.upto(2.0), Interval.upto(3.0))
+        red = next_probabilities(splitter, {1}, *bounds)
+        blue = next_probabilities(splitter, {2}, *bounds)
+        both = next_probabilities(splitter, {1, 2}, *bounds)
+        assert both[0] == pytest.approx(red[0] + blue[0])

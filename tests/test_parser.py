@@ -1,0 +1,181 @@
+"""Unit tests for the CSRL lexer and parser."""
+
+import math
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import ast
+from repro.logic.intervals import Interval
+from repro.logic.lexer import tokenize
+from repro.logic.parser import parse_formula, parse_path_formula
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [token.kind for token in tokenize("P>0.5 [ a U b ]")]
+        assert kinds == ["KEYWORD", "CMP", "NUMBER", "LBRACKET", "IDENT",
+                         "KEYWORD", "IDENT", "RBRACKET", "EOF"]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("true trueish U Uboat")
+        assert [t.kind for t in tokens[:4]] == [
+            "KEYWORD", "IDENT", "KEYWORD", "IDENT"]
+
+    def test_number_formats(self):
+        tokens = tokenize("0.5 .25 1e-3 2E+4 7")
+        assert all(t.kind == "NUMBER" for t in tokens[:-1])
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a $ b")
+        assert info.value.position == 2
+
+
+class TestStateFormulas:
+    def test_atomic(self):
+        assert parse_formula("busy") == ast.Atomic("busy")
+
+    def test_constants(self):
+        assert parse_formula("true") == ast.TRUE
+        assert parse_formula("false") == ast.FALSE
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse_formula("a | b & c")
+        assert formula == ast.Or(ast.Atomic("a"),
+                                 ast.And(ast.Atomic("b"), ast.Atomic("c")))
+
+    def test_implies_is_right_associative_and_weakest(self):
+        formula = parse_formula("a => b => c")
+        assert formula == ast.Implies(
+            ast.Atomic("a"), ast.Implies(ast.Atomic("b"), ast.Atomic("c")))
+
+    def test_negation_binds_tightest(self):
+        formula = parse_formula("!a & b")
+        assert formula == ast.And(ast.Not(ast.Atomic("a")), ast.Atomic("b"))
+
+    def test_double_negation(self):
+        assert parse_formula("!!a") == ast.Not(ast.Not(ast.Atomic("a")))
+
+    def test_parentheses(self):
+        formula = parse_formula("(a | b) & c")
+        assert formula == ast.And(ast.Or(ast.Atomic("a"), ast.Atomic("b")),
+                                  ast.Atomic("c"))
+
+    def test_alternative_operator_spellings(self):
+        assert parse_formula("a && b") == parse_formula("a & b")
+        assert parse_formula("a || b") == parse_formula("a | b")
+        assert parse_formula("~a") == parse_formula("!a")
+
+
+class TestProbabilisticOperators:
+    def test_prob_with_brackets(self):
+        formula = parse_formula("P>=0.25 [ X a ]")
+        assert formula == ast.Prob(">=", 0.25, ast.Next(ast.Atomic("a")))
+
+    def test_prob_with_parentheses(self):
+        formula = parse_formula("P<0.1 ( a U b )")
+        assert isinstance(formula, ast.Prob)
+        assert formula.comparison == "<"
+
+    def test_steady_state(self):
+        formula = parse_formula("S>0.99 [ up ]")
+        assert formula == ast.SteadyState(">", 0.99, ast.Atomic("up"))
+
+    def test_nesting(self):
+        formula = parse_formula("P>0.5 [ a U[0,4] P<0.1 [ X b ] ]")
+        inner = formula.path.right
+        assert isinstance(inner, ast.Prob)
+        assert isinstance(inner.path, ast.Next)
+
+    def test_paper_q3(self):
+        formula = parse_formula(
+            "P>0.5 [ (call_idle | doze) U[0,24][0,600] call_initiated ]")
+        until = formula.path
+        assert until.time == Interval.upto(24.0)
+        assert until.reward == Interval.upto(600.0)
+
+
+class TestBounds:
+    def test_no_bounds(self):
+        until = parse_path_formula("a U b")
+        assert until.time.is_trivial
+        assert until.reward.is_trivial
+
+    def test_time_bound_only(self):
+        until = parse_path_formula("a U[0,5] b")
+        assert until.time == Interval.upto(5.0)
+        assert until.reward.is_trivial
+
+    def test_both_bounds(self):
+        until = parse_path_formula("a U[0,5][0,9] b")
+        assert until.reward == Interval.upto(9.0)
+
+    def test_infinite_upper_bound(self):
+        until = parse_path_formula("a U[0,inf][0,9] b")
+        assert math.isinf(until.time.upper)
+        assert until.reward == Interval.upto(9.0)
+
+    def test_general_interval(self):
+        next_formula = parse_path_formula("X[1,2][3,4] a")
+        assert next_formula.time == Interval(1.0, 2.0)
+        assert next_formula.reward == Interval(3.0, 4.0)
+
+    def test_shorthand_time_bound(self):
+        assert parse_path_formula("a U<=7 b") == \
+            parse_path_formula("a U[0,7] b")
+
+    def test_eventually_and_globally(self):
+        eventually = parse_path_formula("F[0,2] a")
+        assert isinstance(eventually, ast.Eventually)
+        globally = parse_path_formula("G[0,2][0,3] a")
+        assert isinstance(globally, ast.Globally)
+        assert globally.reward == Interval.upto(3.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("P>0 [ a U[5,2] b ]")
+
+
+class TestRoundTrip:
+    CASES = [
+        "a",
+        "!a",
+        "a & b | c",
+        "a => b",
+        "P>0.5 [ X[0,2] a ]",
+        "P<=0.25 [ (a | b) U[0,24][0,600] c ]",
+        "P>=0.1 [ F[0,10] (a & !b) ]",
+        "S<0.05 [ down ]",
+        "P>0.5 [ G[0,8] up ]",
+        "P>0.5 [ a U[0,inf)[0,6] b ]".replace("[0,inf)", "[0,inf]"),
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse(self, text):
+        formula = parse_formula(text)
+        assert parse_formula(str(formula)) == formula
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "(", "a U", "P>", "P>0.5", "P>0.5 [ a ]", "P [ X a ]",
+        "a b", "P>2 [ X a ]", "U a b", "a U[0,] b",
+    ])
+    def test_rejected_inputs(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as info:
+            parse_formula("a & & b")
+        assert info.value.position == 4
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("a b c")

@@ -1,0 +1,107 @@
+"""Unit tests for the Fox--Glynn style Poisson weights."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import NumericalError
+from repro.numerics.poisson import (PoissonWeights, poisson_weights,
+                                    right_truncation_point)
+
+
+class TestWeights:
+    @pytest.mark.parametrize("rate", [0.1, 1.0, 10.0, 468.0, 5000.0])
+    def test_matches_scipy_pmf(self, rate):
+        weights = poisson_weights(rate, epsilon=1e-12)
+        ks = np.arange(weights.left, weights.right + 1)
+        reference = stats.poisson.pmf(ks, rate)
+        assert np.allclose(weights.weights, reference, atol=1e-12)
+
+    def test_weights_sum_to_one(self):
+        weights = poisson_weights(273.5, epsilon=1e-10)
+        assert weights.weights.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_rate(self):
+        weights = poisson_weights(0.0)
+        assert weights.left == weights.right == 0
+        assert weights.weights[0] == 1.0
+
+    def test_large_rate_does_not_underflow(self):
+        # e^{-q} underflows for q > ~745; the anchored recurrence must
+        # still produce correct probabilities.
+        weights = poisson_weights(10_000.0, epsilon=1e-12)
+        mode = 10_000
+        reference = stats.poisson.pmf(mode, 10_000.0)
+        assert weights.probability(mode) == pytest.approx(reference,
+                                                          rel=1e-9)
+
+    def test_window_mass_bound(self):
+        epsilon = 1e-6
+        weights = poisson_weights(500.0, epsilon=epsilon)
+        covered = stats.poisson.cdf(weights.right, 500.0) - \
+            stats.poisson.cdf(weights.left - 1, 500.0)
+        assert covered >= 1.0 - epsilon
+
+    def test_probability_outside_window_is_zero(self):
+        weights = poisson_weights(100.0, epsilon=1e-8)
+        assert weights.probability(weights.left - 1) == 0.0
+        assert weights.probability(weights.right + 1) == 0.0
+
+    def test_tail_from(self):
+        weights = poisson_weights(5.0, epsilon=1e-10)
+        tails = weights.tail_from()
+        assert tails[0] == pytest.approx(1.0)
+        assert tails[-1] == pytest.approx(weights.weights[-1])
+        assert np.all(np.diff(tails) <= 1e-15)
+
+    def test_len(self):
+        weights = poisson_weights(50.0, epsilon=1e-10)
+        assert len(weights) == weights.right - weights.left + 1 \
+            == len(weights.weights)
+
+    def test_invalid_rate(self):
+        with pytest.raises(NumericalError):
+            poisson_weights(-1.0)
+        with pytest.raises(NumericalError):
+            poisson_weights(float("nan"))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(NumericalError):
+            poisson_weights(1.0, epsilon=0.0)
+        with pytest.raises(NumericalError):
+            poisson_weights(1.0, epsilon=2.0)
+
+
+class TestTruncationPoint:
+    @pytest.mark.parametrize("epsilon,expected", [
+        (1e-1, 496), (1e-2, 519), (1e-3, 536), (1e-4, 551),
+        (1e-5, 563), (1e-6, 574), (1e-7, 585), (1e-8, 594),
+    ])
+    def test_paper_table2_values(self, epsilon, expected):
+        """lambda * t = 19.5 * 24 = 468 reproduces the N column of
+        Table 2 of the paper exactly."""
+        assert right_truncation_point(468.0, epsilon) == expected
+
+    def test_definition(self):
+        rate, epsilon = 123.4, 1e-5
+        n = right_truncation_point(rate, epsilon)
+        assert stats.poisson.cdf(n, rate) > 1.0 - epsilon
+        assert stats.poisson.cdf(n - 1, rate) <= 1.0 - epsilon + 1e-12
+
+    def test_zero_rate(self):
+        assert right_truncation_point(0.0, 1e-6) == 0
+
+    def test_monotone_in_epsilon(self):
+        values = [right_truncation_point(100.0, eps)
+                  for eps in (1e-2, 1e-4, 1e-8)]
+        assert values[0] < values[1] < values[2]
+
+    def test_monotone_in_rate(self):
+        assert (right_truncation_point(10.0, 1e-6)
+                < right_truncation_point(1000.0, 1e-6))
+
+    def test_invalid_input(self):
+        with pytest.raises(NumericalError):
+            right_truncation_point(-5.0, 1e-6)
+        with pytest.raises(NumericalError):
+            right_truncation_point(5.0, 0.0)

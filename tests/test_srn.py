@@ -1,0 +1,209 @@
+"""Unit tests for the stochastic reward net substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, StateSpaceError
+from repro.srn import StochasticRewardNet, build_mrm
+from repro.srn.reachability import explore
+
+
+def flip_net():
+    net = StochasticRewardNet()
+    net.add_place("on", tokens=1)
+    net.add_place("off")
+    net.add_timed_transition("turn_off", 2.0, inputs=["on"],
+                             outputs=["off"])
+    net.add_timed_transition("turn_on", 5.0, inputs=["off"],
+                             outputs=["on"])
+    net.set_reward(lambda m: 3.0 if m["on"] else 0.0)
+    return net
+
+
+class TestNetConstruction:
+    def test_duplicate_place_rejected(self):
+        net = StochasticRewardNet()
+        net.add_place("p")
+        with pytest.raises(ModelError):
+            net.add_place("p")
+
+    def test_negative_tokens_rejected(self):
+        net = StochasticRewardNet()
+        with pytest.raises(ModelError):
+            net.add_place("p", tokens=-1)
+
+    def test_unknown_place_in_arc_rejected(self):
+        net = StochasticRewardNet()
+        net.add_place("p")
+        with pytest.raises(ModelError, match="unknown place"):
+            net.add_timed_transition("t", 1.0, inputs=["q"])
+
+    def test_duplicate_transition_rejected(self):
+        net = flip_net()
+        with pytest.raises(ModelError):
+            net.add_timed_transition("turn_on", 1.0)
+
+    def test_immediate_needs_positive_weight(self):
+        net = StochasticRewardNet()
+        net.add_place("p", tokens=1)
+        with pytest.raises(ModelError):
+            net.add_immediate_transition("t", weight=0.0, inputs=["p"])
+
+    def test_describe_mentions_everything(self):
+        text = flip_net().describe()
+        assert "turn_off" in text
+        assert "on" in text
+
+    def test_initial_marking(self):
+        marking = flip_net().initial_marking()
+        assert marking["on"] == 1
+        assert marking["off"] == 0
+
+
+class TestStateSpace:
+    def test_flip_flop_mrm(self):
+        model = build_mrm(flip_net())
+        assert model.num_states == 2
+        on = next(iter(model.states_with("on")))
+        off = next(iter(model.states_with("off")))
+        assert model.rate(on, off) == 2.0
+        assert model.rate(off, on) == 5.0
+        assert model.reward(on) == 3.0
+        assert model.reward(off) == 0.0
+
+    def test_arc_multiplicities(self):
+        net = StochasticRewardNet()
+        net.add_place("tokens", tokens=4)
+        net.add_place("done")
+        net.add_timed_transition("consume_two", 1.0,
+                                 inputs=[("tokens", 2)],
+                                 outputs=["done"])
+        model = build_mrm(net)
+        # Markings: 4, 2, 0 tokens (plus 'done' counts).
+        assert model.num_states == 3
+
+    def test_inhibitor_arc(self):
+        net = StochasticRewardNet()
+        net.add_place("queue")
+        net.add_place("source", tokens=1)
+        net.add_timed_transition(
+            "arrive", 1.0, inputs=["source"],
+            outputs=["source", "queue"],
+            inhibitors=[("queue", 3)])
+        model = build_mrm(net)
+        # queue can hold 0..3 tokens; at 3 the inhibitor stops growth.
+        assert model.num_states == 4
+
+    def test_guard(self):
+        net = StochasticRewardNet()
+        net.add_place("level", tokens=0)
+        net.add_place("pump", tokens=1)
+        net.add_timed_transition(
+            "fill", 1.0, inputs=["pump"], outputs=["pump", "level"],
+            guard=lambda m: m["level"] < 2)
+        model = build_mrm(net)
+        assert model.num_states == 3
+
+    def test_marking_dependent_rate(self):
+        net = StochasticRewardNet()
+        net.add_place("jobs", tokens=3)
+        net.add_timed_transition("serve", lambda m: 2.0 * m["jobs"],
+                                 inputs=["jobs"])
+        model = build_mrm(net)
+        # Rates 6, 4, 2 down the ladder.
+        idx = {model.name_of(s): s for s in range(model.num_states)}
+        assert model.rate(idx["jobs*3"], idx["jobs*2"]) == 6.0
+        assert model.rate(idx["jobs*2"], idx["jobs"]) == 4.0
+
+    def test_state_space_limit(self):
+        net = StochasticRewardNet()
+        net.add_place("unbounded")
+        net.add_place("gen", tokens=1)
+        net.add_timed_transition("spawn", 1.0, inputs=["gen"],
+                                 outputs=["gen", "unbounded"])
+        with pytest.raises(StateSpaceError, match="tangible markings"):
+            build_mrm(net, max_states=50)
+
+    def test_custom_labels(self):
+        net = flip_net()
+        net.add_label("shining", lambda m: m["on"] > 0)
+        model = build_mrm(net)
+        assert model.states_with("shining") == model.states_with("on")
+
+
+class TestImmediateTransitions:
+    def test_vanishing_marking_eliminated(self):
+        net = StochasticRewardNet()
+        net.add_place("idle", tokens=1)
+        net.add_place("choice")
+        net.add_place("left")
+        net.add_place("right")
+        net.add_timed_transition("go", 1.0, inputs=["idle"],
+                                 outputs=["choice"])
+        net.add_immediate_transition("pick_left", weight=1.0,
+                                     inputs=["choice"], outputs=["left"])
+        net.add_immediate_transition("pick_right", weight=3.0,
+                                     inputs=["choice"], outputs=["right"])
+        model = build_mrm(net)
+        # 'choice' is vanishing: states are idle, left, right.
+        assert model.num_states == 3
+        idle = next(iter(model.states_with("idle")))
+        left = next(iter(model.states_with("left")))
+        right = next(iter(model.states_with("right")))
+        assert model.rate(idle, left) == pytest.approx(0.25)
+        assert model.rate(idle, right) == pytest.approx(0.75)
+
+    def test_chained_immediates(self):
+        net = StochasticRewardNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_place("c")
+        net.add_place("d")
+        net.add_timed_transition("start", 2.0, inputs=["a"],
+                                 outputs=["b"])
+        net.add_immediate_transition("hop1", inputs=["b"], outputs=["c"])
+        net.add_immediate_transition("hop2", inputs=["c"], outputs=["d"])
+        model = build_mrm(net)
+        assert model.num_states == 2
+        a = next(iter(model.states_with("a")))
+        d = next(iter(model.states_with("d")))
+        assert model.rate(a, d) == 2.0
+
+    def test_priorities(self):
+        net = StochasticRewardNet()
+        net.add_place("a", tokens=1)
+        net.add_place("win")
+        net.add_place("lose")
+        net.add_place("go")
+        net.add_timed_transition("start", 1.0, inputs=["a"],
+                                 outputs=["go"])
+        net.add_immediate_transition("low", priority=1, inputs=["go"],
+                                     outputs=["lose"])
+        net.add_immediate_transition("high", priority=2, inputs=["go"],
+                                     outputs=["win"])
+        model = build_mrm(net)
+        win = next(iter(model.states_with("win")))
+        start = next(iter(model.states_with("a")))
+        assert model.rate(start, win) == 1.0
+        assert model.states_with("lose") == frozenset()
+
+    def test_vanishing_initial_marking(self):
+        net = StochasticRewardNet()
+        net.add_place("boot", tokens=1)
+        net.add_place("run")
+        net.add_immediate_transition("init", inputs=["boot"],
+                                     outputs=["run"])
+        net.add_timed_transition("tick", 1.0, inputs=["run"],
+                                 outputs=["run"])
+        model = build_mrm(net)
+        assert model.num_states == 1
+        assert model.initial_distribution[0] == 1.0
+
+    def test_vanishing_cycle_detected(self):
+        net = StochasticRewardNet()
+        net.add_place("x", tokens=1)
+        net.add_place("y")
+        net.add_immediate_transition("xy", inputs=["x"], outputs=["y"])
+        net.add_immediate_transition("yx", inputs=["y"], outputs=["x"])
+        with pytest.raises(StateSpaceError, match="zero-time loop"):
+            explore(net)

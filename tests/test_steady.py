@@ -1,0 +1,65 @@
+"""Unit tests for the steady-state operator."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import ModelBuilder
+from repro.mc.steady import steady_state_probabilities
+
+
+class TestIrreducible:
+    def test_flip_flop(self, flip_flop):
+        probs = steady_state_probabilities(flip_flop, {0})
+        # pi = (0.75, 0.25) regardless of the start state.
+        assert np.allclose(probs, 0.75)
+
+    def test_complement(self, flip_flop):
+        up = steady_state_probabilities(flip_flop, {0})
+        down = steady_state_probabilities(flip_flop, {1})
+        assert np.allclose(up + down, 1.0)
+
+    def test_empty_phi(self, flip_flop):
+        assert np.allclose(steady_state_probabilities(flip_flop, set()),
+                           0.0)
+
+    def test_full_phi(self, flip_flop):
+        assert np.allclose(
+            steady_state_probabilities(flip_flop, {0, 1}), 1.0)
+
+
+class TestReducible:
+    @pytest.fixture
+    def two_traps(self):
+        """start branches to two absorbing traps with rates 1 and 3."""
+        builder = ModelBuilder()
+        builder.add_state("start")
+        builder.add_state("left", labels=("left",))
+        builder.add_state("right", labels=("right",))
+        builder.add_transition("start", "left", 1.0)
+        builder.add_transition("start", "right", 3.0)
+        return builder.build()
+
+    def test_initial_state_weighs_bsccs(self, two_traps):
+        probs = steady_state_probabilities(two_traps, {1})
+        assert probs[0] == pytest.approx(0.25)
+        assert probs[1] == 1.0
+        assert probs[2] == 0.0
+
+    def test_trap_with_internal_structure(self):
+        builder = ModelBuilder()
+        builder.add_state("start")
+        builder.add_state("fast", labels=("fast",))
+        builder.add_state("slow")
+        builder.add_transition("start", "fast", 1.0)
+        builder.add_transition("fast", "slow", 1.0)
+        builder.add_transition("slow", "fast", 3.0)
+        model = builder.build()
+        probs = steady_state_probabilities(model, {1})
+        # Inside the BSCC {fast, slow}: pi(fast) = 0.75.
+        assert probs[0] == pytest.approx(0.75)
+        assert probs[1] == pytest.approx(0.75)
+
+    def test_phi_outside_all_bsccs(self, two_traps):
+        # The transient start state has long-run probability zero.
+        assert np.allclose(steady_state_probabilities(two_traps, {0}),
+                           0.0)

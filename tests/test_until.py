@@ -1,0 +1,165 @@
+"""Unit tests for the four until procedures (P0--P3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SericolaEngine
+from repro.ctmc import ModelBuilder
+from repro.errors import UnsupportedFormulaError
+from repro.logic.intervals import Interval
+from repro.mc import until
+
+MU = 0.7
+
+
+@pytest.fixture
+def race():
+    """start races to goal (rate 2) or trap (rate 1); reward 1 in start."""
+    builder = ModelBuilder()
+    builder.add_state("start", labels=("phi",), reward=1.0)
+    builder.add_state("goal", labels=("psi",), reward=0.0)
+    builder.add_state("trap", reward=0.0)
+    builder.add_transition("start", "goal", 2.0)
+    builder.add_transition("start", "trap", 1.0)
+    return builder.build(initial_state="start")
+
+
+class TestUnboundedUntil:
+    def test_race_probability(self, race):
+        probs = until.unbounded_until(race, {0}, {1})
+        assert probs[0] == pytest.approx(2.0 / 3.0)
+        assert probs[1] == 1.0
+        assert probs[2] == 0.0
+
+    def test_certain_reachability(self, two_state_absorbing):
+        probs = until.unbounded_until(two_state_absorbing, {0}, {1})
+        assert probs[0] == pytest.approx(1.0)
+
+
+class TestTimeBoundedUntil:
+    def test_exponential_race(self, race):
+        t = 0.9
+        probs = until.time_bounded_until(race, {0}, {1},
+                                         Interval.upto(t))
+        expected = (2.0 / 3.0) * (1.0 - np.exp(-3.0 * t))
+        assert probs[0] == pytest.approx(expected, abs=1e-10)
+
+    def test_infinite_bound_falls_back_to_unbounded(self, race):
+        probs = until.time_bounded_until(race, {0}, {1},
+                                         Interval.unbounded())
+        assert probs[0] == pytest.approx(2.0 / 3.0)
+
+    def test_interval_with_positive_lower_bound(self, two_state_absorbing):
+        # P(green U^{[t1,t2]} red) on a -> b: the jump must happen in
+        # [t1, t2], i.e. e^{-mu t1} - e^{-mu t2}... but reaching red
+        # earlier and staying also counts at t in [t1,t2] -- red stays
+        # red, so actually jump <= t2 and (jump >= t1 OR still red at
+        # t1, which holds whenever jump < t1 since b is absorbing and
+        # red at t1 requires nothing about phi at t1... but phi must
+        # hold *before* the witness time).  With phi = green only, a
+        # path jumping before t1 is in red (not green) on [jump, t1),
+        # which violates the until; hence exactly jump in [t1, t2].
+        t1, t2 = 0.5, 2.0
+        probs = until.time_bounded_until(
+            two_state_absorbing, {0}, {1}, Interval(t1, t2))
+        expected = np.exp(-MU * t1) - np.exp(-MU * t2)
+        assert probs[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_interval_lower_bound_with_phi_and_psi(self):
+        # phi holds everywhere: jumping early then waiting satisfies
+        # the until at time t1, so the probability is P(jump <= t2).
+        builder = ModelBuilder()
+        builder.add_state("a", labels=("phi",))
+        builder.add_state("b", labels=("phi", "psi"))
+        builder.add_transition("a", "b", MU)
+        model = builder.build()
+        t1, t2 = 0.5, 2.0
+        probs = until.time_bounded_until(model, {0, 1}, {1},
+                                         Interval(t1, t2))
+        assert probs[0] == pytest.approx(1.0 - np.exp(-MU * t2),
+                                         abs=1e-9)
+
+    def test_unbounded_lower_infinite_upper_rejected(self, race):
+        with pytest.raises(UnsupportedFormulaError):
+            until.time_bounded_until(race, {0}, {1},
+                                     Interval(1.0, math.inf))
+
+
+class TestRewardBoundedUntil:
+    def test_two_state_closed_form(self, two_state_absorbing):
+        r = 1.2
+        probs = until.reward_bounded_until(two_state_absorbing, {0}, {1},
+                                           Interval.upto(r))
+        assert probs[0] == pytest.approx(1.0 - np.exp(-MU * r), abs=1e-9)
+
+    def test_infinite_bound_falls_back_to_unbounded(self, race):
+        probs = until.reward_bounded_until(race, {0}, {1},
+                                           Interval.unbounded())
+        assert probs[0] == pytest.approx(2.0 / 3.0)
+
+    def test_nonzero_lower_bound_rejected(self, race):
+        with pytest.raises(UnsupportedFormulaError, match="start at 0"):
+            until.reward_bounded_until(race, {0}, {1}, Interval(1.0, 2.0))
+
+    def test_agrees_with_p3_at_large_t(self, race):
+        r = 0.8
+        p2 = until.reward_bounded_until(race, {0}, {1},
+                                        Interval.upto(r))
+        p3 = until.time_reward_bounded_until(
+            race, {0}, {1}, Interval.upto(200.0), Interval.upto(r),
+            SericolaEngine(epsilon=1e-11))
+        assert np.allclose(p2, p3, atol=1e-6)
+
+
+class TestTimeRewardBoundedUntil:
+    def test_two_state_closed_form(self, two_state_absorbing):
+        t, r = 3.0, 1.2
+        probs = until.time_reward_bounded_until(
+            two_state_absorbing, {0}, {1}, Interval.upto(t),
+            Interval.upto(r), SericolaEngine(epsilon=1e-11))
+        # r < t: the reward bound is the binding one.
+        assert probs[0] == pytest.approx(1.0 - np.exp(-MU * r), abs=1e-9)
+
+    def test_time_binds_when_smaller(self, two_state_absorbing):
+        t, r = 1.0, 5.0
+        probs = until.time_reward_bounded_until(
+            two_state_absorbing, {0}, {1}, Interval.upto(t),
+            Interval.upto(r), SericolaEngine(epsilon=1e-11))
+        assert probs[0] == pytest.approx(1.0 - np.exp(-MU * t), abs=1e-9)
+
+    def test_infinite_reward_reduces_to_p1(self, race):
+        t = 0.9
+        with_inf = until.time_reward_bounded_until(
+            race, {0}, {1}, Interval.upto(t), Interval.unbounded(),
+            SericolaEngine(epsilon=1e-11))
+        p1 = until.time_bounded_until(race, {0}, {1}, Interval.upto(t))
+        assert np.allclose(with_inf, p1, atol=1e-10)
+
+    def test_infinite_time_reduces_to_p2(self, two_state_absorbing):
+        r = 1.2
+        with_inf = until.time_reward_bounded_until(
+            two_state_absorbing, {0}, {1}, Interval.unbounded(),
+            Interval.upto(r), SericolaEngine(epsilon=1e-11))
+        p2 = until.reward_bounded_until(two_state_absorbing, {0}, {1},
+                                        Interval.upto(r))
+        assert np.allclose(with_inf, p2, atol=1e-10)
+
+    def test_nonzero_lower_bounds_rejected(self, race):
+        engine = SericolaEngine()
+        with pytest.raises(UnsupportedFormulaError):
+            until.time_reward_bounded_until(
+                race, {0}, {1}, Interval(1.0, 2.0), Interval.upto(1.0),
+                engine)
+        with pytest.raises(UnsupportedFormulaError):
+            until.time_reward_bounded_until(
+                race, {0}, {1}, Interval.upto(1.0), Interval(1.0, 2.0),
+                engine)
+
+    def test_psi_state_is_immediately_satisfied(self, race):
+        probs = until.time_reward_bounded_until(
+            race, {0}, {1}, Interval.upto(0.5), Interval.upto(0.1),
+            SericolaEngine(epsilon=1e-11))
+        assert probs[1] == pytest.approx(1.0)
+        assert probs[2] == pytest.approx(0.0)

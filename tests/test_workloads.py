@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic model generators."""
+
+import numpy as np
+import pytest
+
+from repro.models import workloads
+
+
+class TestRandomMRM:
+    def test_shape_and_seeding(self):
+        first = workloads.random_mrm(6, seed=1)
+        second = workloads.random_mrm(6, seed=1)
+        assert first.num_states == 6
+        assert np.allclose(first.rate_matrix.toarray(),
+                           second.rate_matrix.toarray())
+
+    def test_different_seeds_differ(self):
+        first = workloads.random_mrm(6, seed=1)
+        second = workloads.random_mrm(6, seed=2)
+        assert not np.allclose(first.rate_matrix.toarray(),
+                               second.rate_matrix.toarray())
+
+    def test_connected_by_default(self):
+        from repro.ctmc import graph
+        model = workloads.random_mrm(8, density=0.0, seed=3)
+        assert graph.reachable(model, [0]) == set(range(8))
+
+    def test_reward_levels_respected(self):
+        model = workloads.random_mrm(10, seed=4,
+                                     reward_levels=(0.0, 5.0))
+        assert set(np.unique(model.rewards)) <= {0.0, 5.0}
+
+
+class TestBirthDeath:
+    def test_structure(self):
+        model = workloads.birth_death_mrm(4)
+        assert model.num_states == 5
+        assert model.rate(0, 1) == 1.0
+        assert model.rate(1, 0) == 1.5
+        assert model.rate(4, 3) == 1.5
+        assert model.is_absorbing(4) is False
+
+    def test_labels(self):
+        model = workloads.birth_death_mrm(3)
+        assert model.states_with("empty") == frozenset({0})
+        assert model.states_with("full") == frozenset({3})
+
+    def test_occupancy_rewards(self):
+        model = workloads.birth_death_mrm(3, reward_per_job=2.0)
+        assert model.reward(2) == 4.0
+
+
+class TestDegradableMultiprocessor:
+    def test_reward_is_capacity(self):
+        model = workloads.degradable_multiprocessor(3)
+        assert [model.reward(k) for k in range(4)] == [0.0, 1.0, 2.0,
+                                                       3.0]
+
+    def test_failure_rates_scale_with_capacity(self):
+        model = workloads.degradable_multiprocessor(3, failure_rate=0.1)
+        assert model.rate(3, 2) == pytest.approx(0.3)
+        assert model.rate(1, 0) == pytest.approx(0.1)
+
+    def test_coverage_adds_crash_transition(self):
+        model = workloads.degradable_multiprocessor(
+            3, failure_rate=0.1, coverage=0.9)
+        assert model.rate(3, 0) == pytest.approx(0.3 * 0.1)
+        assert model.rate(3, 2) == pytest.approx(0.3 * 0.9)
+
+    def test_labels(self):
+        model = workloads.degradable_multiprocessor(2)
+        assert model.states_with("down") == frozenset({0})
+        assert model.states_with("degraded") == frozenset({1})
+        assert model.states_with("operational") == frozenset({1, 2})
+
+    def test_starts_fully_operational(self):
+        model = workloads.degradable_multiprocessor(4)
+        assert model.initial_distribution[4] == 1.0
+
+
+class TestWorkstationCluster:
+    def test_default_availability_threshold(self):
+        model = workloads.workstation_cluster(8)
+        assert model.states_with("available") == frozenset(range(6, 9))
+
+    def test_outage_label(self):
+        model = workloads.workstation_cluster(4)
+        assert model.states_with("outage") == frozenset({0})
+
+    def test_single_repair_unit(self):
+        model = workloads.workstation_cluster(4, repair_rate=2.0)
+        for k in range(4):
+            assert model.rate(k, k + 1) == 2.0
+
+
+class TestCycle:
+    def test_ring_structure(self):
+        model = workloads.cycle_mrm(5, rate=2.0)
+        for s in range(5):
+            assert model.rate(s, (s + 1) % 5) == 2.0
+        assert model.num_transitions == 5

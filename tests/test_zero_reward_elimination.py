@@ -1,0 +1,132 @@
+"""Tests for time-abstract elimination of zero-reward states.
+
+This extension makes the P2 (reward-bounded until) procedure work on
+models with zero-reward transient states, where the paper's duality
+transformation alone is undefined.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SericolaEngine
+from repro.ctmc import ModelBuilder
+from repro.errors import RewardError
+from repro.logic.intervals import Interval
+from repro.mc import until
+from repro.mc.transform import (eliminate_zero_reward_states,
+                                until_reduction)
+
+
+@pytest.fixture
+def detour():
+    """a(rho=1) -> z(rho=0) -> {goal, trap}; z is free reward-wise."""
+    builder = ModelBuilder()
+    builder.add_state("a", labels=("phi",), reward=1.0)
+    builder.add_state("z", labels=("phi",), reward=0.0)
+    builder.add_state("goal", labels=("psi",), reward=0.0)
+    builder.add_state("trap", reward=0.0)
+    builder.add_transition("a", "z", 2.0)
+    builder.add_transition("z", "goal", 3.0)
+    builder.add_transition("z", "trap", 1.0)
+    return builder.build(initial_state="a")
+
+
+class TestElimination:
+    def test_structure(self, detour):
+        result = eliminate_zero_reward_states(detour)
+        assert result.eliminated == [1]
+        assert result.kept == [0, 2, 3]
+        assert result.model.num_states == 3
+
+    def test_exit_distribution(self, detour):
+        result = eliminate_zero_reward_states(detour)
+        # z exits to goal with 3/4, trap with 1/4.
+        assert np.allclose(result.exit_distribution,
+                           [[0.0, 0.75, 0.25]])
+
+    def test_short_circuited_rates(self, detour):
+        result = eliminate_zero_reward_states(detour)
+        model = result.model
+        # a's rate 2 into z splits 3:1 over goal and trap.
+        assert model.rate(0, 1) == pytest.approx(1.5)
+        assert model.rate(0, 2) == pytest.approx(0.5)
+
+    def test_nothing_to_do(self, two_state_absorbing):
+        result = eliminate_zero_reward_states(two_state_absorbing)
+        assert result.model is two_state_absorbing
+        assert result.eliminated == []
+
+    def test_zero_reward_chain(self):
+        # Two chained zero-reward states.
+        builder = ModelBuilder()
+        builder.add_state("p", reward=1.0)
+        builder.add_state("z1", reward=0.0)
+        builder.add_state("z2", reward=0.0)
+        builder.add_state("end", reward=0.0)
+        builder.add_transition("p", "z1", 1.0)
+        builder.add_transition("z1", "z2", 5.0)
+        builder.add_transition("z2", "end", 5.0)
+        model = builder.build()
+        result = eliminate_zero_reward_states(model)
+        assert result.model.num_states == 2
+        assert result.model.rate(0, 1) == pytest.approx(1.0)
+
+    def test_zero_reward_trap_loses_mass(self):
+        builder = ModelBuilder()
+        builder.add_state("p", reward=1.0)
+        builder.add_state("z1", reward=0.0)
+        builder.add_state("z2", reward=0.0)
+        builder.add_transition("p", "z1", 1.0)
+        builder.add_transition("z1", "z2", 1.0)
+        builder.add_transition("z2", "z1", 1.0)
+        model = builder.build()
+        result = eliminate_zero_reward_states(model)
+        # The z-cycle has no exit: its rows sum to zero.
+        assert result.exit_distribution.sum() == pytest.approx(0.0)
+
+    def test_lift(self, detour):
+        result = eliminate_zero_reward_states(detour)
+        lifted = result.lift(np.array([0.5, 1.0, 0.0]), 4)
+        assert lifted[0] == 0.5
+        assert lifted[2] == 1.0
+        assert lifted[1] == pytest.approx(0.75)  # exit mixture
+
+    def test_impulses_rejected(self):
+        builder = ModelBuilder()
+        builder.add_state("a", reward=0.0)
+        builder.add_state("b", reward=1.0)
+        builder.add_transition("a", "b", 1.0, impulse=1.0)
+        with pytest.raises(RewardError):
+            eliminate_zero_reward_states(builder.build())
+
+
+class TestRewardBoundedUntilWithZeroRewards:
+    def test_detour_closed_form(self, detour):
+        # Reward accumulates only in a (rate 1/time, exit rate 2):
+        # Y until absorption ~ Exp(2); reaching goal needs the z-exit
+        # to pick goal (prob 3/4).  P(phi U_{<=r} psi) from a
+        # = 3/4 * (1 - e^{-2r}).
+        r = 0.9
+        probs = until.reward_bounded_until(
+            detour, {0, 1}, {2}, Interval.upto(r))
+        assert probs[0] == pytest.approx(
+            0.75 * (1.0 - np.exp(-2.0 * r)), abs=1e-9)
+        # From z itself: no reward ever accrues before the decision.
+        assert probs[1] == pytest.approx(0.75, abs=1e-9)
+
+    def test_agrees_with_p3_at_large_t(self, detour):
+        r = 0.5
+        p2 = until.reward_bounded_until(detour, {0, 1}, {2},
+                                        Interval.upto(r))
+        p3 = until.time_reward_bounded_until(
+            detour, {0, 1}, {2}, Interval.upto(500.0),
+            Interval.upto(r), SericolaEngine(epsilon=1e-11))
+        assert np.allclose(p2, p3, atol=1e-5)
+
+    def test_through_checker(self, detour):
+        from repro.mc import ModelChecker
+        checker = ModelChecker(detour)
+        result = checker.check("P>0.5 [ phi U[0,inf][0,2] psi ]")
+        value = result.probability_of(0)
+        assert value == pytest.approx(0.75 * (1.0 - np.exp(-4.0)),
+                                      abs=1e-9)
