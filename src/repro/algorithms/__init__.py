@@ -19,12 +19,16 @@ common interface (:class:`~repro.algorithms.base.JointEngine`):
 """
 
 from repro.algorithms.base import JointEngine, get_engine, available_engines
+from repro.algorithms.cache import (EngineStats, cache_info, clear_caches,
+                                    joint_cache, matrix_cache)
 from repro.algorithms.erlang import ErlangEngine, erlang_expanded_model
 from repro.algorithms.discretization import DiscretizationEngine
 from repro.algorithms.sericola import SericolaEngine
 
 __all__ = [
     "JointEngine", "get_engine", "available_engines",
+    "EngineStats", "cache_info", "clear_caches",
+    "joint_cache", "matrix_cache",
     "ErlangEngine", "erlang_expanded_model",
     "DiscretizationEngine", "SericolaEngine",
 ]

@@ -9,15 +9,26 @@ the quantity that Theorem 2 of the paper reduces time- and
 reward-bounded until checking to.  Engines are stateless value objects
 holding their accuracy parameters, so one engine instance can be reused
 across models and queries.
+
+The entry point :meth:`JointEngine.joint_probability_vector` is a
+template method: it validates the query, consults the shared
+least-recently-used result cache (:mod:`repro.algorithms.cache`) keyed
+on ``(model fingerprint, engine parameters, t, r, target mask)``, and
+only on a miss invokes the engine's batched computation
+:meth:`JointEngine._compute_joint_vector`, which produces the values
+for **all initial states in one propagation**.  Per-engine run counters
+(cache hits/misses, propagation steps, sparse products) are exposed as
+:attr:`JointEngine.stats`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Optional, Sequence, Type
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from repro.algorithms.cache import EngineStats, joint_cache
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
 
@@ -28,16 +39,55 @@ class JointEngine(ABC):
     #: Short identifier used by :func:`get_engine` and the CLI.
     name: str = "abstract"
 
-    @abstractmethod
+    @property
+    def stats(self) -> EngineStats:
+        """Run counters of this engine instance (see
+        :class:`~repro.algorithms.cache.EngineStats`)."""
+        existing = getattr(self, "_stats", None)
+        if existing is None:
+            existing = self._stats = EngineStats()
+        return existing
+
     def joint_probability_vector(self,
                                  model: MarkovRewardModel,
                                  t: float,
                                  r: float,
                                  target: Iterable[int]) -> np.ndarray:
-        """Per-initial-state joint probabilities.
+        """Per-initial-state joint probabilities, batched and cached.
 
         Returns the vector ``v`` with
-        ``v[s] = Pr{Y_t <= r, X_t in target | X_0 = s}``.
+        ``v[s] = Pr{Y_t <= r, X_t in target | X_0 = s}``, computed for
+        every initial state in a single propagation.  Identical queries
+        (same model content, engine parameters, bounds and target set)
+        are served from the shared LRU cache; the
+        :attr:`stats` counters record hits and misses.
+        """
+        indicator = self._validate(model, t, r, target)
+        key = (model.fingerprint, self._cache_token(),
+               float(t), float(r), indicator.tobytes())
+        cached = joint_cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached.copy()
+        self.stats.cache_misses += 1
+        vector = np.asarray(
+            self._compute_joint_vector(model, t, r, indicator),
+            dtype=float)
+        frozen = vector.copy()
+        frozen.flags.writeable = False
+        joint_cache.put(key, frozen)
+        return vector
+
+    @abstractmethod
+    def _compute_joint_vector(self,
+                              model: MarkovRewardModel,
+                              t: float,
+                              r: float,
+                              indicator: np.ndarray) -> np.ndarray:
+        """The engine's batched computation for all initial states.
+
+        *indicator* is the validated 0/1 vector of the target set.
+        Implementations must not read or write the result cache.
         """
 
     def joint_probability(self,
@@ -54,7 +104,37 @@ class JointEngine(ABC):
                  else np.asarray(initial, dtype=float))
         return float(alpha @ vector)
 
+    def joint_probability_from(self,
+                               model: MarkovRewardModel,
+                               t: float,
+                               r: float,
+                               indicator: np.ndarray,
+                               initial_state: int) -> float:
+        """Joint probability from a single initial state.
+
+        The base implementation runs the engine's (uncached) batched
+        computation and reads off one entry -- engines with a genuinely
+        scalar algorithm (the discretisation's single-initial-state
+        propagation, the pseudo-Erlang forward analysis) override this
+        with an independent per-state path, which the equivalence tests
+        compare against the batched vector.
+        """
+        indicator = np.asarray(indicator, dtype=float)
+        vector = self._compute_joint_vector(model, float(t), float(r),
+                                            indicator)
+        return float(vector[int(initial_state)])
+
     # ------------------------------------------------------------------
+
+    def _cache_token(self) -> Tuple:
+        """Hashable identity of the engine's accuracy parameters.
+
+        Two engine instances with equal tokens must compute identical
+        results, so they may share cache entries.  The default covers
+        every public non-callable attribute; engines with
+        diagnostics-only state override this with an explicit tuple.
+        """
+        return (self.name,)
 
     @staticmethod
     def _validate(model: MarkovRewardModel, t: float, r: float,

@@ -1,0 +1,149 @@
+"""Shared memoisation layer of the joint-distribution engines.
+
+Checking a P3-type until formula needs ``Pr{Y_t <= r, X_t in S'}`` for
+*every* state; sweeps (the paper's Tables 2--4) and nested formulas
+re-ask the same question with identical parameters many times.  This
+module provides the process-wide caches that make those repeats free:
+
+* :data:`joint_cache` -- an LRU of joint-probability *vectors*, keyed
+  on ``(model fingerprint, engine parameters, t, r, target mask)``.
+  :class:`~repro.algorithms.base.JointEngine` consults it before every
+  computation, so any engine instance with equal parameters shares
+  results for content-identical models (the fingerprint, see
+  :attr:`repro.ctmc.ctmc.CTMC.fingerprint`, is a content hash --
+  models are immutable value objects, so content identity is cache
+  validity).
+* :data:`matrix_cache` -- an LRU of *transformed sparse matrices* that
+  are expensive to rebuild per call: the discretisation's reward-step
+  matrices grouped by impulse displacement, and the pseudo-Erlang
+  phase-expanded chains.
+
+Both caches store only derived, immutable data; entries are evicted in
+least-recently-used order, never invalidated (a mutated model would be
+a new object with a new fingerprint).  :func:`clear_caches` empties
+everything, which the benchmarks use to measure cold-cache timings.
+
+Per-engine run statistics (:class:`EngineStats`) live here as well so
+the numerics layer can update them without importing the engines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+
+@dataclass
+class EngineStats:
+    """Mutable per-engine counters, exposed for benchmarks and tests.
+
+    Attributes
+    ----------
+    cache_hits, cache_misses:
+        Joint-vector queries answered from / missing
+        :data:`joint_cache`.
+    propagation_steps:
+        Discretisation steps or uniformisation series terms actually
+        iterated (cache hits add nothing).
+    matvec_count:
+        Number of sparse-matrix x dense-block products performed (one
+        product over a ``(n, b)`` block counts once, whatever ``b``).
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    propagation_steps: int = 0
+    matvec_count: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.propagation_steps = 0
+        self.matvec_count = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON-friendly)."""
+        return {"cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "propagation_steps": self.propagation_steps,
+                "matvec_count": self.matvec_count}
+
+
+class LRUCache:
+    """A small, generic least-recently-used mapping.
+
+    >>> cache = LRUCache(maxsize=2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None   # evicted
+    True
+    >>> cache.get("c")
+    3
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed as most recent; None on a miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the oldest if full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> Dict[str, int]:
+        """Current size and lifetime hit/miss counts."""
+        return {"size": len(self._data), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses}
+
+
+#: Joint-probability vectors, keyed on
+#: ``(model fingerprint, engine token, t, r, target-mask bytes)``.
+joint_cache = LRUCache(maxsize=512)
+
+#: Transformed sparse matrices (reward-step groups, expanded chains),
+#: keyed on ``(kind, model fingerprint, parameters...)``.
+matrix_cache = LRUCache(maxsize=64)
+
+
+def clear_caches() -> None:
+    """Empty every module-level cache (joint vectors, matrices, and
+    the Fox--Glynn Poisson-weight cache)."""
+    joint_cache.clear()
+    matrix_cache.clear()
+    from repro.numerics.poisson import clear_poisson_cache
+    clear_poisson_cache()
+
+
+def cache_info() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size summary of all module-level caches."""
+    from repro.numerics.poisson import poisson_cache_info
+    return {"joint": joint_cache.info(),
+            "matrix": matrix_cache.info(),
+            "poisson": poisson_cache_info()}

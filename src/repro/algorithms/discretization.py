@@ -32,17 +32,43 @@ The whole per-step update is two sparse-matrix/dense-matrix products,
 so the cost is ``O(T * nnz(R) * R / d)`` -- quadratic in ``1/d``,
 matching the paper's observation that halving ``d`` quadruples the
 runtime (Table 4).
+
+**Batched all-initial-states evaluation.**  The recurrence above is a
+linear map ``L`` on the ``(state, reward cell)`` density array, and the
+model checker needs ``v[s0] = <w, L^{T-1} F^1_{s0}>`` for *every*
+initial state ``s0``, where ``w`` is the indicator of the accepting
+cells (target states, reward within bound).  Two batched formulations
+replace the seed's ``|S|`` independent runs:
+
+* the *adjoint* sweep (used by :meth:`DiscretizationEngine.\
+joint_probability_vector`): propagate ``G^T = w`` backwards through the
+  adjoint recurrence ``G^{j} = shift_rho^T( (1 - E d) G^{j+1}
+  + R d G^{j+1} )`` and read off ``v[s0] = G^1(s0, rho(s0))`` -- one
+  ``(|S|, R+1)`` array and two sparse x dense products per step cover
+  all initial states at once, an ``|S|``-fold saving over the per-state
+  loop;
+* the *forward tensor* sweep (:meth:`DiscretizationEngine.\
+final_density_batch`): propagate the ``(initial, state, reward cell)``
+  density tensor in one pass when the full per-initial densities are
+  wanted, again two sparse x dense products per step over the flattened
+  trailing axes.
+
+Both agree with the scalar :meth:`DiscretizationEngine.\
+joint_probability_from` path to floating-point accuracy (it is the same
+linear operator, applied forwards or backwards).
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Optional, Tuple
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.algorithms.base import JointEngine, register_engine
+from repro.algorithms.cache import matrix_cache
 from repro.algorithms.erlang import zero_reward_bound_vector
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, RewardError
@@ -63,8 +89,6 @@ def integer_reward_scale(rewards: Iterable[float],
                 f"reward {reward} is not a small rational; "
                 f"scale rewards manually")
         denominator = fraction.denominator
-        # lcm(scale, denominator)
-        from math import gcd
         scale = scale * denominator // gcd(scale, denominator)
     return scale
 
@@ -103,34 +127,141 @@ class DiscretizationEngine(JointEngine):
         self.underflow = underflow
         self.include_zero = bool(include_zero)
 
+    def _cache_token(self) -> Tuple:
+        return (self.name, self.step, self.underflow, self.include_zero)
+
+    # ------------------------------------------------------------------
+    # batched (all initial states) path
     # ------------------------------------------------------------------
 
-    def joint_probability_vector(self,
-                                 model: MarkovRewardModel,
-                                 t: float,
-                                 r: float,
-                                 target: Iterable[int]) -> np.ndarray:
-        indicator = self._validate(model, t, r, target)
-        result = np.empty(model.num_states)
-        for s in range(model.num_states):
-            result[s] = self.joint_probability_from(model, t, r,
-                                                    indicator, s)
-        return result
+    def _compute_joint_vector(self,
+                              model: MarkovRewardModel,
+                              t: float,
+                              r: float,
+                              indicator: np.ndarray) -> np.ndarray:
+        """One adjoint sweep covering every initial state.
 
-    def joint_probability(self,
-                          model: MarkovRewardModel,
-                          t: float,
-                          r: float,
-                          target: Iterable[int],
-                          initial=None) -> float:
-        indicator = self._validate(model, t, r, target)
-        alpha = (model.initial_distribution if initial is None
-                 else np.asarray(initial, dtype=float))
-        total = 0.0
-        for s in np.flatnonzero(alpha):
-            total += alpha[s] * self.joint_probability_from(
-                model, t, r, indicator, int(s))
-        return total
+        Propagates the accepting-cell weight array backwards through
+        the adjoint of the density recurrence (see the module
+        docstring); the per-step cost equals *one* forward step, so the
+        full vector costs as much as a single per-state run of the
+        seed implementation.
+        """
+        if t == 0.0:
+            return indicator.astype(float).copy()
+        if r == 0.0:
+            return zero_reward_bound_vector(model, t, indicator)
+        num_steps, num_cells, rho, stay = self._setup(model, t, r)
+        n = model.num_states
+        groups = dict(self._step_groups(model, self.step))
+        base = groups.pop(0, sp.csr_matrix((n, n)))
+        impulse_items = [(cells, group)
+                         for cells, group in sorted(groups.items())
+                         if cells < num_cells]
+        reward_groups = [(int(value), np.flatnonzero(rho == value))
+                         for value in np.unique(rho)]
+        clamp = self.underflow == "clamp"
+
+        start = 0 if self.include_zero else 1
+        weight = np.zeros((n, num_cells))
+        weight[:, start:] = indicator[:, None]
+
+        for _ in range(num_steps - 1):
+            # Adjoint of (stay + R^T d + impulse shifts) on the state
+            # axis: the *untransposed* grouped rate matrices, with the
+            # impulse displacement now shifting *down* in reward.
+            merged = stay[:, None] * weight + base @ weight
+            for cells, group in impulse_items:
+                down = np.zeros_like(weight)
+                down[:, :num_cells - cells] = weight[:, cells:]
+                merged += group @ down
+            self.stats.matvec_count += 1 + len(impulse_items)
+            self.stats.propagation_steps += 1
+            # Adjoint of the per-state reward displacement: shift down
+            # by rho(s); under "clamp" the out-of-range cells fold into
+            # cell 0 (the adjoint of duplicating cell 0 upward).
+            shifted = np.zeros_like(weight)
+            for value, states in reward_groups:
+                if value == 0:
+                    shifted[states] = merged[states]
+                elif value < num_cells:
+                    shifted[states, :num_cells - value] = \
+                        merged[states, value:]
+                    if clamp:
+                        shifted[states, 0] += \
+                            merged[states, :value].sum(axis=1)
+                elif clamp:
+                    shifted[states, 0] = merged[states, :].sum(axis=1)
+            weight = shifted
+
+        result = np.zeros(n)
+        in_range = rho < num_cells
+        result[in_range] = weight[in_range, rho[in_range]]
+        return np.clip(result, 0.0, 1.0)
+
+    def final_density_batch(self,
+                            model: MarkovRewardModel,
+                            t: float,
+                            r: float,
+                            initial_states: Optional[Sequence[int]] = None
+                            ) -> np.ndarray:
+        """Forward densities for a batch of initial states in one pass.
+
+        Returns the ``(len(initial_states), |S|, R+1)`` array whose
+        slice ``[b]`` equals :meth:`final_density` started in
+        ``initial_states[b]`` (default: every state).  The whole batch
+        advances through each step with two sparse x dense products on
+        the ``(|S|, batch * (R+1))`` flattened tensor instead of
+        ``len(initial_states)`` independent runs.
+        """
+        num_steps, num_cells, rho, stay = self._setup(model, t, r)
+        n = model.num_states
+        if initial_states is None:
+            inits = np.arange(n)
+        else:
+            inits = np.asarray([int(s) for s in initial_states])
+        batch = len(inits)
+        groups = dict(self._transposed_step_groups(model, self.step))
+        transposed = groups.pop(0, sp.csr_matrix((n, n)))
+        impulse_items = [(cells, group)
+                         for cells, group in sorted(groups.items())
+                         if cells < num_cells]
+        reward_groups = [(int(value), np.flatnonzero(rho == value))
+                         for value in np.unique(rho)]
+        clamp = self.underflow == "clamp"
+
+        density = np.zeros((n, batch, num_cells))
+        for index, s0 in enumerate(inits):
+            if rho[s0] < num_cells:
+                density[s0, index, rho[s0]] = 1.0 / self.step
+
+        for _ in range(num_steps - 1):
+            shifted = np.zeros_like(density)
+            for value, states in reward_groups:
+                if value == 0:
+                    shifted[states] = density[states]
+                elif value < num_cells:
+                    shifted[states, :, value:] = density[states, :, :-value]
+                    if clamp:
+                        shifted[states, :, :value] = \
+                            density[states, :, 0][..., None]
+                elif clamp:
+                    shifted[states, :, :] = density[states, :, 0][..., None]
+            flat = shifted.reshape(n, batch * num_cells)
+            density = (stay[:, None, None] * shifted
+                       + (transposed @ flat).reshape(n, batch, num_cells))
+            for cells, group in impulse_items:
+                extra = np.zeros_like(shifted)
+                extra[:, :, cells:] = shifted[:, :, :num_cells - cells]
+                density += (group @ extra.reshape(n, batch * num_cells)
+                            ).reshape(n, batch, num_cells)
+            self.stats.matvec_count += 1 + len(impulse_items)
+            self.stats.propagation_steps += 1
+        return np.ascontiguousarray(density.transpose(1, 0, 2))
+
+    # ------------------------------------------------------------------
+    # scalar (single initial state) path -- the seed formulation
+    # ------------------------------------------------------------------
 
     def joint_probability_from(self,
                                model: MarkovRewardModel,
@@ -149,8 +280,6 @@ class DiscretizationEngine(JointEngine):
         mass = density[:, start:] * self.step
         return float(min(1.0, (mass.sum(axis=1) * indicator).sum()))
 
-    # ------------------------------------------------------------------
-
     def final_density(self,
                       model: MarkovRewardModel,
                       t: float,
@@ -163,35 +292,11 @@ class DiscretizationEngine(JointEngine):
         bound is discarded on the fly; it never flows back because
         displacements are non-negative).
         """
+        num_steps, num_cells, rho, stay = self._setup(model, t, r)
         d = self.step
-        steps = t / d
-        if abs(steps - round(steps)) > 1e-9:
-            raise NumericalError(
-                f"time bound {t} is not a multiple of the step {d}")
-        num_steps = int(round(steps))
-        if not model.has_integer_rewards():
-            raise RewardError(
-                "the discretisation scheme needs natural-number rewards; "
-                "use model.scaled_rewards(integer_reward_scale(...)) and "
-                "scale the reward bound accordingly")
-        rho = np.round(model.rewards).astype(np.int64)
-        exit_rates = model.exit_rates
-        if exit_rates.max() * d > 1.0 + 1e-12:
-            raise NumericalError(
-                f"step {d} too coarse: max exit rate {exit_rates.max()} "
-                f"gives a negative stay probability; need d <= "
-                f"{1.0 / exit_rates.max()}")
-        num_cells = int(np.floor(r / d + 1e-9)) + 1
 
-        # Impulse rewards add a transition-specific displacement of
-        # iota / d cells; split the rate matrix by impulse value so
-        # each group is one sparse product on a uniformly re-shifted
-        # density (the paper's future-work extension).
-        impulse_groups = self._impulse_groups(model, d)
-        transposed = (impulse_groups.pop(0)
-                      if 0 in impulse_groups
-                      else sp.csr_matrix((model.num_states,) * 2))
-        stay = 1.0 - exit_rates * d
+        groups = dict(self._transposed_step_groups(model, d))
+        transposed = groups.pop(0, sp.csr_matrix((model.num_states,) * 2))
 
         density = np.zeros((model.num_states, num_cells))
         start_cell = min(int(rho[initial_state]), num_cells - 1)
@@ -220,7 +325,7 @@ class DiscretizationEngine(JointEngine):
                 elif self.underflow == "clamp":
                     shifted[states, :] = density[states, 0][:, None]
             density = stay[:, None] * shifted + transposed @ shifted
-            for cells, group in impulse_groups.items():
+            for cells, group in groups.items():
                 if cells >= num_cells:
                     continue  # the impulse alone exceeds the bound
                 extra = np.zeros_like(shifted)
@@ -228,11 +333,66 @@ class DiscretizationEngine(JointEngine):
                 density += group @ extra
         return density
 
+    # ------------------------------------------------------------------
+    # shared setup and cached step matrices
+    # ------------------------------------------------------------------
+
+    def _setup(self, model: MarkovRewardModel, t: float, r: float
+               ) -> Tuple[int, int, np.ndarray, np.ndarray]:
+        """Validated ``(num_steps, num_cells, rho, stay)`` of a run."""
+        d = self.step
+        steps = t / d
+        if abs(steps - round(steps)) > 1e-9:
+            raise NumericalError(
+                f"time bound {t} is not a multiple of the step {d}")
+        num_steps = int(round(steps))
+        if not model.has_integer_rewards():
+            raise RewardError(
+                "the discretisation scheme needs natural-number rewards; "
+                "use model.scaled_rewards(integer_reward_scale(...)) and "
+                "scale the reward bound accordingly")
+        rho = np.round(model.rewards).astype(np.int64)
+        exit_rates = model.exit_rates
+        if exit_rates.max() * d > 1.0 + 1e-12:
+            raise NumericalError(
+                f"step {d} too coarse: max exit rate {exit_rates.max()} "
+                f"gives a negative stay probability; need d <= "
+                f"{1.0 / exit_rates.max()}")
+        num_cells = int(np.floor(r / d + 1e-9)) + 1
+        stay = 1.0 - exit_rates * d
+        return num_steps, num_cells, rho, stay
+
+    @classmethod
+    def _step_groups(cls, model: MarkovRewardModel, d: float
+                     ) -> Dict[int, sp.csr_matrix]:
+        """``d``-scaled rate matrices grouped by the number of reward
+        cells their impulse displaces (0 for no impulse), in forward
+        (row = source) orientation; cached per ``(model, d)``."""
+        key = ("disc-groups", model.fingerprint, float(d))
+        groups = matrix_cache.get(key)
+        if groups is None:
+            groups = cls._build_step_groups(model, d)
+            matrix_cache.put(key, groups)
+        return groups
+
+    @classmethod
+    def _transposed_step_groups(cls, model: MarkovRewardModel, d: float
+                                ) -> Dict[int, sp.csr_matrix]:
+        """The transposed (column = source) variant of
+        :meth:`_step_groups`, used by the forward propagations."""
+        key = ("disc-groups-T", model.fingerprint, float(d))
+        groups = matrix_cache.get(key)
+        if groups is None:
+            groups = {cells: matrix.transpose().tocsr()
+                      for cells, matrix in
+                      cls._step_groups(model, d).items()}
+            matrix_cache.put(key, groups)
+        return groups
+
     @staticmethod
-    def _impulse_groups(model: MarkovRewardModel, d: float):
-        """Transposed, d-scaled rate matrices grouped by the number of
-        reward cells their impulse displaces (0 for no impulse)."""
-        base = (model.rate_matrix.transpose() * d).tocsr()
+    def _build_step_groups(model: MarkovRewardModel, d: float
+                           ) -> Dict[int, sp.csr_matrix]:
+        base = (model.rate_matrix * d).tocsr()
         if not model.has_impulse_rewards:
             return {0: base}
         inverse_step = 1.0 / d
@@ -246,13 +406,10 @@ class DiscretizationEngine(JointEngine):
             raise RewardError(
                 "the discretisation scheme needs natural-number "
                 "impulse rewards; scale the model")
-        transposed_impulses = impulses.transpose().tocsr()
-        groups = {}
         coo = base.tocoo()
-        shift_cells = np.zeros(coo.nnz, dtype=np.int64)
-        for k, (row, col) in enumerate(zip(coo.row, coo.col)):
-            iota = transposed_impulses[row, col]
-            shift_cells[k] = int(round(float(iota) * inverse_step))
+        iota = np.asarray(impulses[coo.row, coo.col]).ravel()
+        shift_cells = np.rint(iota * inverse_step).astype(np.int64)
+        groups = {}
         for cells in np.unique(shift_cells):
             mask = shift_cells == cells
             groups[int(cells)] = sp.coo_matrix(

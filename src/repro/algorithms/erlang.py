@@ -20,21 +20,37 @@ approximation converges; the paper's Table 3 sweeps ``k`` from 1 to
 1024 and observes convergence from below on its case study.  The price
 is a ``k``-fold larger chain whose uniformisation rate grows by
 ``k * max(rho) / r``.
+
+**Impulse rewards** (this library's extension of the paper's
+future-work item) displace the reward instantaneously by a *fixed*
+amount ``iota`` when their transition fires, so the phase counter must
+advance by the *deterministic* equivalent ``iota * k / r`` of that
+displacement.  When that quantity is not an integer, the advance is
+split mean-preservingly over the two neighbouring integers
+(``floor``/``ceil``).  Randomising the advance instead -- e.g. by the
+Poisson number of reward-clock ticks inside the impulse, which an
+earlier revision did -- biases the result near discontinuities of the
+joint distribution: an impulse atom sitting exactly at the bound is
+then counted with probability about one half however large ``k`` is
+(an ``O(k^{-1/2})`` error), which is what the seed's failing
+discretisation-vs-Erlang comparison detected.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+import math
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.algorithms.base import JointEngine, register_engine
+from repro.algorithms.cache import matrix_cache
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
-from repro.numerics.uniformization import transient_target_probabilities
+from repro.numerics.uniformization import (transient_distribution,
+                                           transient_target_probabilities)
 
 
 def erlang_expanded_model(model: MarkovRewardModel,
@@ -49,7 +65,9 @@ def erlang_expanded_model(model: MarkovRewardModel,
     The expanded rate matrix has the tensor structure
     ``R (x) I_k + diag(rho) (x) (k/r) * shift`` that the paper mentions
     can be exploited for storage; we materialise it sparsely, which for
-    CSR storage is equally compact.
+    CSR storage is equally compact.  The construction is cached per
+    ``(model, r, phases)`` -- sweeps over the time bound rebuild
+    nothing.
     """
     if phases < 1:
         raise NumericalError(f"need at least one phase, got {phases}")
@@ -57,6 +75,11 @@ def erlang_expanded_model(model: MarkovRewardModel,
         raise NumericalError(
             f"the Erlang construction needs a positive reward bound, "
             f"got {r}")
+    key = ("erlang-expanded", model.fingerprint, float(r), int(phases))
+    cached = matrix_cache.get(key)
+    if cached is not None:
+        return cached
+
     n = model.num_states
     k = phases
     barrier = n * k
@@ -69,10 +92,10 @@ def erlang_expanded_model(model: MarkovRewardModel,
     cols = []
     vals = []
     # Original transitions, copied into every phase.  A transition with
-    # an impulse reward iota crosses a Poisson(iota * k / r) number of
-    # Erlang stage boundaries at the jump instant (the reward clock is
-    # a Poisson process of rate k/r in the reward dimension), so it
-    # fans out over higher phases and the barrier.
+    # an impulse reward iota displaces the reward clock by the fixed
+    # amount iota, i.e. advances the phase counter by the deterministic
+    # equivalent iota * k / r, split mean-preservingly over the two
+    # neighbouring integers when fractional (see module docstring).
     for src, dst, rate in zip(rates.row, rates.col, rates.data):
         base_src = src * k
         base_dst = dst * k
@@ -84,22 +107,23 @@ def erlang_expanded_model(model: MarkovRewardModel,
                 cols.append(base_dst + i)
                 vals.append(rate)
             continue
-        from scipy.stats import poisson as poisson_dist
         advance = iota * phase_rate
-        pmf = poisson_dist.pmf(np.arange(k), advance)
+        low = int(math.floor(advance + 1e-12))
+        fraction = advance - low
+        outcomes = [(low, 1.0 - fraction)]
+        if fraction > 1e-12:
+            outcomes.append((low + 1, fraction))
         for i in range(k):
-            reachable = pmf[:k - i]
-            for j, probability in enumerate(reachable):
+            for jump, probability in outcomes:
                 if probability <= 0.0:
                     continue
-                rows.append(base_src + i)
-                cols.append(base_dst + i + j)
-                vals.append(rate * float(probability))
-            overshoot = 1.0 - float(reachable.sum())
-            if overshoot > 0.0:
-                rows.append(base_src + i)
-                cols.append(barrier)
-                vals.append(rate * overshoot)
+                if i + jump < k:
+                    rows.append(base_src + i)
+                    cols.append(base_dst + i + jump)
+                else:
+                    rows.append(base_src + i)
+                    cols.append(barrier)
+                vals.append(rate * probability)
     # Phase advancement at rate rho(s) * k / r.
     for s in range(n):
         advance = model.reward(s) * phase_rate
@@ -114,7 +138,9 @@ def erlang_expanded_model(model: MarkovRewardModel,
         vals.append(advance)
     expanded = sp.coo_matrix((vals, (rows, cols)),
                              shape=(barrier + 1, barrier + 1)).tocsr()
-    return CTMC(expanded), barrier
+    result = (CTMC(expanded), barrier)
+    matrix_cache.put(key, result)
+    return result
 
 
 @register_engine
@@ -141,12 +167,19 @@ class ErlangEngine(JointEngine):
         self.epsilon = float(epsilon)
         self.last_expanded_size: Optional[int] = None
 
-    def joint_probability_vector(self,
-                                 model: MarkovRewardModel,
-                                 t: float,
-                                 r: float,
-                                 target: Iterable[int]) -> np.ndarray:
-        indicator = self._validate(model, t, r, target)
+    def _cache_token(self) -> Tuple:
+        return (self.name, self.phases, self.epsilon)
+
+    def _compute_joint_vector(self,
+                              model: MarkovRewardModel,
+                              t: float,
+                              r: float,
+                              indicator: np.ndarray) -> np.ndarray:
+        """Batched backward uniformisation over the expanded chain.
+
+        One backward series on the ``|S| * k + 1``-state expanded CTMC
+        yields every initial state at once (the phase-0 entries).
+        """
         if r == 0.0:
             return zero_reward_bound_vector(model, t, indicator,
                                             epsilon=self.epsilon)
@@ -157,12 +190,40 @@ class ErlangEngine(JointEngine):
         # Erlang bound has not been exceeded).
         expanded_indicator = np.zeros(expanded.num_states)
         for s in np.flatnonzero(indicator):
-            expanded_indicator[s * k:(s + 1) * k] = 1.0
+            expanded_indicator[s * k:(s + 1) * k] = indicator[s]
         vector = transient_target_probabilities(
-            expanded, t, expanded_indicator, epsilon=self.epsilon)
+            expanded, t, expanded_indicator, epsilon=self.epsilon,
+            stats=self.stats)
         # Initial phase is 0: read off the (s, 0) entries.
         result = vector[0:barrier:k].copy()
         return np.clip(result, 0.0, 1.0)
+
+    def joint_probability_from(self,
+                               model: MarkovRewardModel,
+                               t: float,
+                               r: float,
+                               indicator: np.ndarray,
+                               initial_state: int) -> float:
+        """Joint probability from one initial state via an independent
+        *forward* transient analysis of the expanded chain (the dual of
+        the batched backward series; used by the equivalence tests)."""
+        indicator = np.asarray(indicator, dtype=float)
+        if r == 0.0:
+            exact = zero_reward_bound_vector(model, t, indicator,
+                                             epsilon=self.epsilon)
+            return float(exact[int(initial_state)])
+        expanded, barrier = erlang_expanded_model(model, r, self.phases)
+        k = self.phases
+        alpha = np.zeros(expanded.num_states)
+        alpha[int(initial_state) * k] = 1.0
+        distribution = transient_distribution(
+            expanded, t, initial=alpha, epsilon=self.epsilon,
+            steady_state_detection=False)
+        mass = 0.0
+        for s in np.flatnonzero(indicator):
+            mass += indicator[s] * float(
+                distribution[s * k:(s + 1) * k].sum())
+        return float(np.clip(mass, 0.0, 1.0))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(phases={self.phases})"

@@ -53,7 +53,7 @@ accumulates more than ``rho_0 t`` with probability one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -129,14 +129,20 @@ class SericolaEngine(JointEngine):
         self.steady_state_detection = bool(steady_state_detection)
         self.last_diagnostics: Optional[SericolaDiagnostics] = None
 
+    def _cache_token(self):
+        return (self.name, self.epsilon, self.uniformization_rate,
+                self.steady_state_detection)
+
     # ------------------------------------------------------------------
 
-    def joint_probability_vector(self,
-                                 model: MarkovRewardModel,
-                                 t: float,
-                                 r: float,
-                                 target: Iterable[int]) -> np.ndarray:
-        indicator = self._validate(model, t, r, target)
+    def _compute_joint_vector(self,
+                              model: MarkovRewardModel,
+                              t: float,
+                              r: float,
+                              indicator: np.ndarray) -> np.ndarray:
+        """One run of the series -- per-initial-state values are native
+        to the occupation-time algorithm (the column-aggregate
+        recursion carries all initial states, see module docstring)."""
         joint, _ = self._series(model, t, r, indicator)
         return joint
 
@@ -263,6 +269,8 @@ class SericolaEngine(JointEngine):
             u_next = matrix @ u
             # P applied to every b(g, n-1, k) at once: rows k, states j.
             pb = [(matrix @ b[g].T).T for g in range(m)]
+            self.stats.matvec_count += 1 + m
+            self.stats.propagation_steps += 1
             new_b = [np.empty((n + 1, n_states)) for _ in range(m)]
 
             # Pass 1 (ascending g): high rows, ascending k.
@@ -369,4 +377,6 @@ class SericolaEngine(JointEngine):
             if k == psi.right:
                 break
             vector = matrix @ vector
+            self.stats.matvec_count += 1
+            self.stats.propagation_steps += 1
         return result

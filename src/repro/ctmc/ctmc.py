@@ -14,7 +14,8 @@ operator and for uniformisation) although most models have none.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Union
+import hashlib
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -112,6 +113,11 @@ class CTMC:
 
         self._exit_rates = np.asarray(
             self._rates.sum(axis=1)).ravel()
+        # Lazily computed content hash and derived-matrix cache; both
+        # are per-instance and rely on the documented immutability of
+        # the model (every "mutator" returns a fresh copy).
+        self._fingerprint: Optional[str] = None
+        self._derived: Dict = {}
 
     # ------------------------------------------------------------------
     # basic structure
@@ -181,10 +187,74 @@ class CTMC:
         """True when *state* has no outgoing transitions."""
         return bool(self._exit_rates[state] == 0.0)
 
+    # ------------------------------------------------------------------
+    # content identity and derived-matrix caches
+    # ------------------------------------------------------------------
+
+    def _fingerprint_parts(self) -> Iterator[bytes]:
+        """Byte chunks feeding the content hash (extended by subclasses).
+
+        Covers everything the numerical procedures read: the rate
+        matrix and the initial distribution.  Labels and state names
+        are deliberately excluded -- they never influence a numerical
+        result, so models differing only in labelling share caches.
+        """
+        yield np.int64(self._rates.shape[0]).tobytes()
+        yield self._rates.indptr.tobytes()
+        yield self._rates.indices.tobytes()
+        yield np.ascontiguousarray(self._rates.data).tobytes()
+        yield self._alpha.tobytes()
+
+    @property
+    def fingerprint(self) -> str:
+        """A cheap content hash identifying this model for caching.
+
+        Two models with identical rates, initial distribution and (for
+        MRMs) reward structure share the fingerprint, however they were
+        constructed.  The model classes are immutable value objects --
+        every transformation (:meth:`~repro.ctmc.mrm.MarkovRewardModel.\
+with_rewards`, reductions, ...) returns a *new* instance, which gets a
+        new fingerprint -- so a fingerprint, once computed, stays valid
+        for the object's lifetime.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for part in self._fingerprint_parts():
+                digest.update(part)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    @property
+    def rate_matrix_transposed(self) -> sp.csr_matrix:
+        """``R^T`` as CSR (cached; do not mutate).
+
+        The forward-propagation engines multiply by the transpose on
+        every step; converting once per model instead of once per call
+        is part of the engine-level caching layer.
+        """
+        cached = self._derived.get("RT")
+        if cached is None:
+            cached = self._rates.transpose().tocsr()
+            self._derived["RT"] = cached
+        return cached
+
+    @property
+    def rate_matrix_csc(self) -> sp.csc_matrix:
+        """The rate matrix in CSC layout (cached; do not mutate)."""
+        cached = self._derived.get("Rcsc")
+        if cached is None:
+            cached = self._rates.tocsc()
+            self._derived["Rcsc"] = cached
+        return cached
+
     def generator_matrix(self) -> sp.csr_matrix:
-        """The infinitesimal generator ``Q = R - diag(E)``."""
-        return (self._rates
-                - sp.diags(self._exit_rates, format="csr")).tocsr()
+        """The infinitesimal generator ``Q = R - diag(E)`` (cached)."""
+        cached = self._derived.get("Q")
+        if cached is None:
+            cached = (self._rates
+                      - sp.diags(self._exit_rates, format="csr")).tocsr()
+            self._derived["Q"] = cached
+        return cached
 
     def uniformized_dtmc_matrix(self, rate: Optional[float] = None
                                 ) -> sp.csr_matrix:
@@ -205,12 +275,16 @@ class CTMC:
             raise ModelError(
                 f"uniformisation rate {rate} is below the maximal exit "
                 f"rate {self.max_exit_rate}")
-        n = self.num_states
+        cached = self._derived.get(("P", float(rate)))
+        if cached is not None:
+            return cached
         probs = self._rates / rate
         stay = 1.0 - self._exit_rates / rate
         # Clamp tiny negative values caused by rounding.
         stay = np.where(np.abs(stay) < 1e-14, 0.0, stay)
-        return (probs + sp.diags(stay, format="csr")).tocsr()
+        matrix = (probs + sp.diags(stay, format="csr")).tocsr()
+        self._derived[("P", float(rate))] = matrix
+        return matrix
 
     # ------------------------------------------------------------------
     # labelling

@@ -106,6 +106,15 @@ class MarkovRewardModel(CTMC):
                 "impulse rewards must sit on existing transitions")
         return matrix
 
+    def _fingerprint_parts(self):
+        """Extend the CTMC content hash with the reward structure."""
+        yield from super()._fingerprint_parts()
+        yield self._rewards.tobytes()
+        if self._impulses is not None:
+            yield self._impulses.indptr.tobytes()
+            yield self._impulses.indices.tobytes()
+            yield np.ascontiguousarray(self._impulses.data).tobytes()
+
     # ------------------------------------------------------------------
 
     @property

@@ -79,6 +79,19 @@ class ModelChecker:
         self.solver = solver
         self._cache: Dict[ast.StateFormula, FrozenSet[int]] = {}
 
+    @property
+    def engine_stats(self) -> Dict[str, int]:
+        """Run counters of the joint-distribution engine.
+
+        Exposes the engine's :class:`~repro.algorithms.cache.\
+EngineStats` as a plain dict: ``cache_hits``/``cache_misses`` against
+        the shared joint-vector LRU (repeated identical until-checks
+        -- same model content, bounds and target -- are served from it
+        without re-propagating), plus ``propagation_steps`` and
+        ``matvec_count`` of the work actually performed.
+        """
+        return self.engine.stats.as_dict()
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------

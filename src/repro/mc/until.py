@@ -137,6 +137,13 @@ def time_reward_bounded_until(model: MarkovRewardModel,
     Theorem 1 reduces the problem to the joint probability
     ``Pr{Y_t <= r, X_t in Sat(Psi)}`` on the transformed model, which
     *engine* computes (Theorem 2).
+
+    A single batched :meth:`JointEngine.joint_probability_vector` call
+    covers **all** initial states in one propagation (no per-state
+    loop), and its result is memoised in the shared joint-vector cache
+    keyed by the reduced model's content fingerprint -- repeating an
+    identical check is a cache hit even though ``until_reduction``
+    rebuilds the reduced model object each time.
     """
     if time.lower != 0.0 or reward.lower != 0.0:
         raise UnsupportedFormulaError(

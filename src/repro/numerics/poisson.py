@@ -17,11 +17,37 @@ total weight.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
 from repro.errors import NumericalError
+
+# Weight arrays are pure functions of (rate, epsilon) and every
+# uniformisation-based procedure recomputes them per call; sweeps over
+# t or over models with equal uniformisation rates hit the same pairs
+# over and over, so the arrays are memoised process-wide.  Entries are
+# frozen dataclasses holding read-only arrays -- safe to share.
+_WEIGHT_CACHE: "OrderedDict[tuple, PoissonWeights]" = OrderedDict()
+_WEIGHT_CACHE_MAXSIZE = 512
+_WEIGHT_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_poisson_cache() -> None:
+    """Empty the module-level Fox--Glynn weight cache."""
+    _WEIGHT_CACHE.clear()
+    _WEIGHT_CACHE_STATS["hits"] = 0
+    _WEIGHT_CACHE_STATS["misses"] = 0
+
+
+def poisson_cache_info() -> Dict[str, int]:
+    """Size and lifetime hit/miss counts of the weight cache."""
+    return {"size": len(_WEIGHT_CACHE),
+            "maxsize": _WEIGHT_CACHE_MAXSIZE,
+            "hits": _WEIGHT_CACHE_STATS["hits"],
+            "misses": _WEIGHT_CACHE_STATS["misses"]}
 
 
 @dataclass(frozen=True)
@@ -92,9 +118,17 @@ def poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
     if not 0.0 < epsilon < 1.0:
         raise NumericalError(f"epsilon must be in (0, 1), got {epsilon}")
 
+    key = (float(rate), float(epsilon))
+    cached = _WEIGHT_CACHE.get(key)
+    if cached is not None:
+        _WEIGHT_CACHE.move_to_end(key)
+        _WEIGHT_CACHE_STATS["hits"] += 1
+        return cached
+
     if rate == 0.0:
-        return PoissonWeights(rate=0.0, left=0, right=0,
-                              weights=np.array([1.0]), epsilon=epsilon)
+        return _cache_put(key, PoissonWeights(
+            rate=0.0, left=0, right=0,
+            weights=np.array([1.0]), epsilon=epsilon))
 
     mode = int(math.floor(rate))
     # Terms this far below the mode weight are irrelevant even after
@@ -141,11 +175,22 @@ def poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
     trim_right = min(trim_right, len(weights) - 1)
     trimmed = weights[trim_left:trim_right + 1].copy()
     trimmed /= trimmed.sum()
-    return PoissonWeights(rate=rate,
-                          left=left + trim_left,
-                          right=left + trim_right,
-                          weights=trimmed,
-                          epsilon=epsilon)
+    return _cache_put(key, PoissonWeights(rate=rate,
+                                          left=left + trim_left,
+                                          right=left + trim_right,
+                                          weights=trimmed,
+                                          epsilon=epsilon))
+
+
+def _cache_put(key: tuple, value: PoissonWeights) -> PoissonWeights:
+    """Freeze and memoise a freshly computed weight object."""
+    value.weights.flags.writeable = False
+    _WEIGHT_CACHE_STATS["misses"] += 1
+    _WEIGHT_CACHE[key] = value
+    _WEIGHT_CACHE.move_to_end(key)
+    while len(_WEIGHT_CACHE) > _WEIGHT_CACHE_MAXSIZE:
+        _WEIGHT_CACHE.popitem(last=False)
+    return value
 
 
 def right_truncation_point(rate: float, epsilon: float) -> int:

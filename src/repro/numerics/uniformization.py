@@ -112,8 +112,8 @@ def transient_target_probabilities(model: CTMC,
                                    t: float,
                                    indicator: Sequence[float],
                                    epsilon: float = 1e-12,
-                                   uniformization_rate: Optional[float] = None
-                                   ) -> np.ndarray:
+                                   uniformization_rate: Optional[float] = None,
+                                   stats=None) -> np.ndarray:
     """Per-initial-state probability of being in a target set at time *t*.
 
     Returns the vector ``v`` with ``v[i] = Pr{X_t in S' | X_0 = i}``
@@ -122,6 +122,11 @@ def transient_target_probabilities(model: CTMC,
     -- one run covers every initial state, the dual of
     :func:`transient_distribution`.  Any real-valued vector is accepted,
     so this also evaluates ``E[f(X_t) | X_0 = i]`` for bounded ``f``.
+
+    *stats*, when given, is any object with ``matvec_count`` and
+    ``propagation_steps`` attributes (e.g.
+    :class:`repro.algorithms.cache.EngineStats`); the series length and
+    the number of sparse products are added to it.
     """
     if t < 0.0:
         raise NumericalError(f"time must be >= 0, got {t}")
@@ -144,6 +149,9 @@ def transient_target_probabilities(model: CTMC,
         if k == weights.right:
             break
         vector = matrix @ vector
+        if stats is not None:
+            stats.matvec_count += 1
+            stats.propagation_steps += 1
     return result
 
 

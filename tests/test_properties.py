@@ -200,6 +200,17 @@ class TestJointDistributionProperties:
     def test_sericola_agrees_with_erlang(self, model, t, fraction):
         r = fraction * model.max_reward * t
         assume(r > 0.0)
+        # The random Erlang bound has standard deviation r/sqrt(k), so
+        # near an *atom* of Y_t (a no-jump trajectory accumulates
+        # exactly rho(s) * t, with probability e^{-E(s) t} > 0) the
+        # approximation converges only as O(k^{-1/2}) -- e.g. three
+        # absorbing states with rho(0) t just above r give an exact
+        # Gamma tail of ~0.018 at k = 1024.  The O(1/k) tolerance
+        # below is valid at continuity points only, so keep r clear
+        # of every atom by several standard deviations.
+        sigma = r / 32.0  # k = 1024
+        assume(all(abs(r - model.reward(s) * t) > 6.0 * sigma
+                   for s in range(model.num_states)))
         target = {0}
         sericola = SericolaEngine(epsilon=1e-10) \
             .joint_probability_vector(model, t, r, target)
