@@ -60,3 +60,37 @@ def bench_table3_error_halving(benchmark, q3_setting, q3_exact):
             f"error should roughly halve per doubling, got {ratios}")
     report(benchmark, ratios=[round(float(r), 2) for r in ratios],
            paper_ratio_hint="~2 per doubling (Table 3)")
+
+
+def bench_table3_bound_grid_sweep(benchmark, q3_setting):
+    """A (t, r) bound grid through the shared-prefix sweep API.
+
+    For each reward bound the expanded chain's backward iterates are
+    shared across all time bounds; distinct reward bounds (distinct
+    expansions) fan out over threads.  The result must match
+    independent per-point calls to 1e-10.
+    """
+    import numpy as np
+    from repro.algorithms import clear_caches
+    model, goal, initial, t, r = q3_setting
+    times = [t * f for f in (0.25, 0.5, 0.75, 1.0)]
+    rewards = [r * f for f in (0.25, 0.5, 0.75, 1.0)]
+    engine = ErlangEngine(phases=64)
+
+    def run():
+        clear_caches()
+        return engine.joint_probability_sweep(model, times, rewards,
+                                              [goal])
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    clear_caches()
+    reference = ErlangEngine(phases=64)
+    for i, time_bound in enumerate(times):
+        for j, reward_bound in enumerate(rewards):
+            point = reference.joint_probability_vector(
+                model, time_bound, reward_bound, [goal])
+            assert np.max(np.abs(grid[i, j] - point)) <= 1e-10
+    report(benchmark, grid=f"{len(times)}x{len(rewards)}",
+           value=round(float(grid[-1, -1, initial]), 8),
+           sweep_matvecs=engine.stats.matvec_count,
+           per_point_matvecs=reference.stats.matvec_count)

@@ -75,3 +75,40 @@ def bench_table4_quadratic_cost(benchmark, q3_setting):
     report(benchmark,
            ratios=[round(float(ratio), 2) for ratio in ratios],
            paper_ratio_hint="~4x per halving (Table 4 timings)")
+
+
+def bench_table4_bound_grid_sweep(benchmark, q3_setting):
+    """A (t, r) bound grid through the shared-prefix sweep API.
+
+    One adjoint propagation per reward column serves every time bound
+    (the backward recurrence is time-homogeneous), and columns fan out
+    over threads.  The result must match independent per-point calls
+    to 1e-10 -- it is bit-identical by construction.
+    """
+    import time
+    from repro.algorithms import clear_caches
+    model, goal, initial, t, r = q3_setting
+    times = [t * f for f in (0.25, 0.5, 0.75, 1.0)]
+    rewards = [r * f for f in (0.25, 0.5, 0.75, 1.0)]
+    engine = DiscretizationEngine(step=1.0 / 32)
+
+    def run():
+        clear_caches()
+        return engine.joint_probability_sweep(model, times, rewards,
+                                              [goal])
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    clear_caches()
+    reference = DiscretizationEngine(step=1.0 / 32)
+    start = time.perf_counter()
+    for i, time_bound in enumerate(times):
+        for j, reward_bound in enumerate(rewards):
+            point = reference.joint_probability_vector(
+                model, time_bound, reward_bound, [goal])
+            assert np.max(np.abs(grid[i, j] - point)) <= 1e-10
+    per_point_seconds = time.perf_counter() - start
+    report(benchmark, grid=f"{len(times)}x{len(rewards)}",
+           value=round(float(grid[-1, -1, initial]), 8),
+           per_point_seconds=round(per_point_seconds, 3),
+           sweep_matvecs=engine.stats.matvec_count,
+           per_point_matvecs=reference.stats.matvec_count)

@@ -4,10 +4,11 @@
 Runs the three engines on property Q3 of the ad hoc network case study
 (Section 5 of the paper) -- the Sericola epsilon sweep (Table 2), the
 pseudo-Erlang phase sweep (Table 3) and the discretisation step sweep
-(Table 4) -- plus two measurements of this library's performance
+(Table 4) -- plus three measurements of this library's performance
 layer: the batched all-initial-states propagation against the seed's
-per-state loop, and the joint-vector cache behaviour under repeated
-identical checks.  Results (computed values, errors against the
+per-state loop, the joint-vector cache behaviour under repeated
+identical checks, and the shared-prefix ``(t, r)`` grid sweep against
+the per-point loop (see :mod:`bench_sweep`).  Results (computed values, errors against the
 paper's reference, wall-clock seconds, cache counters) are written to
 ``BENCH_<YYYYMMDD>.json`` next to this script.
 
@@ -38,6 +39,8 @@ from repro.algorithms import (DiscretizationEngine, ErlangEngine,
 from repro.mc.checker import ModelChecker
 from repro.models import adhoc
 from repro.numerics.poisson import poisson_cache_info
+
+from bench_sweep import sweep_section
 
 REFERENCE = adhoc.Q3_REFERENCE_VALUE
 
@@ -208,6 +211,8 @@ def main(argv=None) -> int:
     speedup = bench_batched_speedup(setting, config["speedup_step"])
     print("Result cache under repeated checks:")
     cache = bench_cache(setting)
+    print("Shared-prefix (t, r) grid sweep:")
+    sweep = sweep_section(quick=arguments.quick)
 
     results = {
         "date": datetime.date.today().isoformat(),
@@ -227,6 +232,7 @@ def main(argv=None) -> int:
         "table4_discretization": table4,
         "batched_speedup": speedup,
         "cache": cache,
+        "sweep": sweep,
     }
     stamp = datetime.date.today().strftime("%Y%m%d")
     output = arguments.output or (

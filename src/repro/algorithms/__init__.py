@@ -16,6 +16,13 @@ common interface (:class:`~repro.algorithms.base.JointEngine`):
 * :class:`~repro.algorithms.sericola.SericolaEngine` -- Section 4.4,
   Sericola's occupation-time algorithm (the only one with an a-priori
   error bound).
+
+Beyond the scalar :meth:`~repro.algorithms.base.JointEngine.\
+joint_probability_vector`, every engine evaluates whole ``(t, r)``
+bound grids with a shared propagation prefix
+(:meth:`~repro.algorithms.base.JointEngine.joint_probability_sweep`),
+and :mod:`~repro.algorithms.parallel` fans genuinely independent
+queries -- distinct reduced models -- over GIL-releasing threads.
 """
 
 from repro.algorithms.base import JointEngine, get_engine, available_engines
@@ -24,6 +31,9 @@ from repro.algorithms.cache import (EngineStats, cache_info, clear_caches,
 from repro.algorithms.erlang import ErlangEngine, erlang_expanded_model
 from repro.algorithms.discretization import DiscretizationEngine
 from repro.algorithms.sericola import SericolaEngine
+from repro.algorithms.parallel import (parallel_joint_sweeps,
+                                       parallel_joint_vectors,
+                                       threaded_map)
 
 __all__ = [
     "JointEngine", "get_engine", "available_engines",
@@ -31,4 +41,5 @@ __all__ = [
     "joint_cache", "matrix_cache",
     "ErlangEngine", "erlang_expanded_model",
     "DiscretizationEngine", "SericolaEngine",
+    "parallel_joint_sweeps", "parallel_joint_vectors", "threaded_map",
 ]

@@ -19,12 +19,22 @@ only on a miss invokes the engine's batched computation
 for **all initial states in one propagation**.  Per-engine run counters
 (cache hits/misses, propagation steps, sparse products) are exposed as
 :attr:`JointEngine.stats`.
+
+:meth:`JointEngine.joint_probability_sweep` extends the template to a
+whole ``(t, r)`` grid: the cache is consulted *per grid point* (the
+keys are exactly the scalar keys, so sweep and scalar calls feed each
+other), and the missing sub-grid goes to the engine's
+:meth:`JointEngine._compute_joint_sweep`, whose engine-native
+overrides share the propagation prefix across the grid instead of
+re-running per point (one discretisation tensor run, one Sericola
+series, one Erlang iterate sequence per reward bound).
 """
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -89,6 +99,115 @@ class JointEngine(ABC):
         *indicator* is the validated 0/1 vector of the target set.
         Implementations must not read or write the result cache.
         """
+
+    def joint_probability_sweep(self,
+                                model: MarkovRewardModel,
+                                times: Sequence[float],
+                                reward_bounds: Sequence[float],
+                                target: Iterable[int]) -> np.ndarray:
+        """Joint probabilities over a whole ``(t, r)`` grid, shared.
+
+        Returns the array ``grid`` of shape ``(len(times),
+        len(reward_bounds), |S|)`` with ``grid[i, j, s] =
+        Pr{Y_{t_i} <= r_j, X_{t_i} in target | X_0 = s}`` -- every cell
+        equals an independent :meth:`joint_probability_vector` call,
+        but the engine shares the propagation prefix across the grid
+        (see :meth:`_compute_joint_sweep`) instead of re-running per
+        point.
+
+        Caching is per grid point with the *scalar* cache keys:
+        already-cached cells are filled from the LRU (a per-point
+        ``cache_hits`` increment), the remaining cells are computed in
+        one engine-native sweep over the distinct missing rows and
+        columns and then cached individually, so later scalar queries
+        hit.  ``stats.sweep_points`` counts the grid cells served.
+        """
+        times = [float(t) for t in times]
+        rewards = [float(r) for r in reward_bounds]
+        for t in times:
+            if t < 0.0:
+                raise NumericalError(
+                    f"time bound must be >= 0, got {t}")
+        for r in rewards:
+            if r < 0.0:
+                raise NumericalError(
+                    f"reward bound must be >= 0, got {r}")
+        indicator = self._validate(model, 0.0, 0.0, target)
+        token = self._cache_token()
+        mask = indicator.tobytes()
+        grid = np.empty((len(times), len(rewards), model.num_states))
+        self.stats.sweep_points += grid.shape[0] * grid.shape[1]
+        missing: List[Tuple[int, int]] = []
+        for i, t in enumerate(times):
+            for j, r in enumerate(rewards):
+                key = (model.fingerprint, token, t, r, mask)
+                cached = joint_cache.get(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    grid[i, j] = cached
+                else:
+                    self.stats.cache_misses += 1
+                    missing.append((i, j))
+        if not missing:
+            return grid
+        # One engine-native sweep over the distinct times/rewards that
+        # still need work; duplicates in the request collapse here.
+        need_times = sorted({times[i] for i, _ in missing})
+        need_rewards = sorted({rewards[j] for _, j in missing})
+        t_index = {t: i for i, t in enumerate(need_times)}
+        r_index = {r: j for j, r in enumerate(need_rewards)}
+        computed = np.asarray(
+            self._compute_joint_sweep(model, need_times, need_rewards,
+                                      indicator), dtype=float)
+        stored = set()
+        for i, j in missing:
+            vector = computed[t_index[times[i]], r_index[rewards[j]]]
+            grid[i, j] = vector
+            point = (times[i], rewards[j])
+            if point in stored:
+                continue
+            stored.add(point)
+            frozen = vector.copy()
+            frozen.flags.writeable = False
+            joint_cache.put(
+                (model.fingerprint, token, times[i], rewards[j], mask),
+                frozen)
+        return grid
+
+    def _compute_joint_sweep(self,
+                             model: MarkovRewardModel,
+                             times: Sequence[float],
+                             rewards: Sequence[float],
+                             indicator: np.ndarray) -> np.ndarray:
+        """Engine-native grid computation (uncached).
+
+        The base implementation falls back to one
+        :meth:`_compute_joint_vector` run per grid point; the concrete
+        engines override it with shared-prefix evaluations.
+        Implementations must not read or write the result cache, and
+        must return an array of shape ``(len(times), len(rewards),
+        |S|)`` whose cells match the scalar path to floating-point
+        accuracy.
+        """
+        grid = np.empty((len(times), len(rewards), model.num_states))
+        for i, t in enumerate(times):
+            for j, r in enumerate(rewards):
+                grid[i, j] = self._compute_joint_vector(model, t, r,
+                                                        indicator)
+        return grid
+
+    def _worker_clone(self) -> "JointEngine":
+        """A shallow copy with a private :class:`EngineStats`.
+
+        The threaded fan-out (:mod:`repro.algorithms.parallel`) gives
+        every worker its own clone so counter updates never race;
+        accuracy parameters (and hence cache tokens) are shared, so
+        clones interoperate with the result cache exactly like the
+        original.
+        """
+        clone = copy.copy(self)
+        clone._stats = EngineStats()
+        return clone
 
     def joint_probability(self,
                           model: MarkovRewardModel,

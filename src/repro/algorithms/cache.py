@@ -22,6 +22,8 @@ Both caches store only derived, immutable data; entries are evicted in
 least-recently-used order, never invalidated (a mutated model would be
 a new object with a new fingerprint).  :func:`clear_caches` empties
 everything, which the benchmarks use to measure cold-cache timings.
+Every cache operation holds a per-cache lock, so the threaded fan-out
+(:mod:`repro.algorithms.parallel`) can share the caches safely.
 
 Per-engine run statistics (:class:`EngineStats`) live here as well so
 the numerics layer can update them without importing the engines.
@@ -29,6 +31,7 @@ the numerics layer can update them without importing the engines.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional
@@ -49,12 +52,19 @@ class EngineStats:
     matvec_count:
         Number of sparse-matrix x dense-block products performed (one
         product over a ``(n, b)`` block counts once, whatever ``b``).
+    sweep_points:
+        Grid points served through
+        :meth:`~repro.algorithms.base.JointEngine.\
+joint_probability_sweep` (each point is also accounted as a cache hit
+        or miss, so ``sweep_points == sweep hits + sweep misses`` for a
+        sweep-only workload).
     """
 
     cache_hits: int = 0
     cache_misses: int = 0
     propagation_steps: int = 0
     matvec_count: int = 0
+    sweep_points: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -62,17 +72,38 @@ class EngineStats:
         self.cache_misses = 0
         self.propagation_steps = 0
         self.matvec_count = 0
+        self.sweep_points = 0
+
+    def merge(self, other: "EngineStats") -> None:
+        """Add another stats object's counters onto this one.
+
+        The threaded fan-out gives every worker a private stats object
+        and merges them (in deterministic task order) when all workers
+        have finished, so concurrent ``+=`` on shared counters never
+        happens.
+        """
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.propagation_steps += other.propagation_steps
+        self.matvec_count += other.matvec_count
+        self.sweep_points += other.sweep_points
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (JSON-friendly)."""
         return {"cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "propagation_steps": self.propagation_steps,
-                "matvec_count": self.matvec_count}
+                "matvec_count": self.matvec_count,
+                "sweep_points": self.sweep_points}
 
 
 class LRUCache:
-    """A small, generic least-recently-used mapping.
+    """A small, generic, thread-safe least-recently-used mapping.
+
+    All operations hold an internal lock: the threaded fan-out of
+    :mod:`repro.algorithms.parallel` lets several workers consult and
+    fill the shared caches concurrently, and ``OrderedDict`` reordering
+    is not atomic under free threading.
 
     >>> cache = LRUCache(maxsize=2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
@@ -87,40 +118,46 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed as most recent; None on a miss."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the oldest if full."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def info(self) -> Dict[str, int]:
         """Current size and lifetime hit/miss counts."""
-        return {"size": len(self._data), "maxsize": self.maxsize,
-                "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {"size": len(self._data), "maxsize": self.maxsize,
+                    "hits": self.hits, "misses": self.misses}
 
 
 #: Joint-probability vectors, keyed on

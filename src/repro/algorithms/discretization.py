@@ -56,6 +56,15 @@ final_density_batch`): propagate the ``(initial, state, reward cell)``
 Both agree with the scalar :meth:`DiscretizationEngine.\
 joint_probability_from` path to floating-point accuracy (it is the same
 linear operator, applied forwards or backwards).
+
+**Grid sweeps.**  For a whole ``(t, r)`` grid of bounds
+(:meth:`~repro.algorithms.base.JointEngine.joint_probability_sweep`)
+the adjoint recurrence's time-homogeneity pays once more: one backward
+run per reward bound serves *every* time bound of that column
+bit-identically, because the weight array after ``k`` applications is
+the per-point answer for horizon ``(k + 1) d``.  Columns are
+independent (the operator truncates at ``r / d`` cells) and fan out
+over GIL-releasing threads (the ``max_workers`` knob).
 """
 
 from __future__ import annotations
@@ -68,8 +77,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.algorithms.base import JointEngine, register_engine
-from repro.algorithms.cache import matrix_cache
-from repro.algorithms.erlang import zero_reward_bound_vector
+from repro.algorithms.cache import EngineStats, matrix_cache
+from repro.algorithms.erlang import (zero_reward_bound_sweep,
+                                     zero_reward_bound_vector)
+from repro.algorithms.parallel import threaded_map
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, RewardError
 
@@ -117,7 +128,8 @@ class DiscretizationEngine(JointEngine):
     def __init__(self,
                  step: float = 1.0 / 64,
                  underflow: str = "drop",
-                 include_zero: bool = True):
+                 include_zero: bool = True,
+                 max_workers: Optional[int] = None):
         if step <= 0.0:
             raise NumericalError(f"step must be positive, got {step}")
         if underflow not in ("drop", "clamp"):
@@ -126,6 +138,9 @@ class DiscretizationEngine(JointEngine):
         self.step = float(step)
         self.underflow = underflow
         self.include_zero = bool(include_zero)
+        # Thread fan-out knob for the sweep path only; it never changes
+        # results, so it stays out of the cache token.
+        self.max_workers = max_workers
 
     def _cache_token(self) -> Tuple:
         return (self.name, self.step, self.underflow, self.include_zero)
@@ -198,6 +213,132 @@ class DiscretizationEngine(JointEngine):
         in_range = rho < num_cells
         result[in_range] = weight[in_range, rho[in_range]]
         return np.clip(result, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # shared-prefix (t, r) grid path
+    # ------------------------------------------------------------------
+
+    def _compute_joint_sweep(self,
+                             model: MarkovRewardModel,
+                             times: Sequence[float],
+                             rewards: Sequence[float],
+                             indicator: np.ndarray) -> np.ndarray:
+        """One adjoint propagation per reward bound covers every time.
+
+        The adjoint recurrence is time-homogeneous: after ``k``
+        applications the weight array holds the per-initial-state
+        values for the horizon ``(k + 1) d``, so a single backward run
+        to ``max(times)`` serves **all** requested time bounds of one
+        reward column, bit-identically to the per-point runs (same
+        operator, same application sequence, snapshots read mid-run).
+        Cost per column: ``O(T_max * nnz * r/d)`` instead of
+        ``O((sum_i T_i) * nnz * r/d)``.
+
+        Columns are genuinely independent -- the operator's reward
+        truncation depends on ``r`` -- and fan out over GIL-releasing
+        threads (``max_workers`` knob); results keep grid order and
+        the per-worker counters are merged deterministically.
+        """
+        times = [float(t) for t in times]
+        live_times = [(i, t) for i, t in enumerate(times) if t > 0.0]
+        positive_times = [t for _, t in live_times]
+
+        def column(reward: float):
+            stats = EngineStats()
+            if not positive_times:
+                return None, stats
+            if reward == 0.0:
+                rows = zero_reward_bound_sweep(model, positive_times,
+                                               indicator, stats=stats)
+                return rows, stats
+            return self._adjoint_column(model, positive_times, reward,
+                                        indicator, stats), stats
+
+        columns = threaded_map(column, [float(r) for r in rewards],
+                               max_workers=self.max_workers)
+        grid = np.empty((len(times), len(rewards), model.num_states))
+        for j, (values, stats) in enumerate(columns):
+            self.stats.merge(stats)
+            if values is not None:
+                for row, (i, _) in enumerate(live_times):
+                    grid[i, j] = values[row]
+        # t = 0 rows: Y_0 = 0 <= r whatever r, matching the scalar path.
+        for i, t in enumerate(times):
+            if t == 0.0:
+                grid[i, :, :] = indicator.astype(float)
+        return grid
+
+    def _adjoint_column(self,
+                        model: MarkovRewardModel,
+                        times: Sequence[float],
+                        r: float,
+                        indicator: np.ndarray,
+                        stats: EngineStats) -> np.ndarray:
+        """Backward values for a fixed bound *r* at several times.
+
+        Returns the ``(len(times), |S|)`` array of joint-probability
+        vectors; *times* must be positive multiples of the step.  The
+        loop body is exactly :meth:`_compute_joint_vector`'s, with the
+        weight array read off at every requested horizon instead of
+        only the last one.
+        """
+        t_max = max(times)
+        num_steps, num_cells, rho, stay = self._setup(model, t_max, r)
+        n = model.num_states
+        d = self.step
+        snapshots: Dict[int, List[int]] = {}
+        for index, t in enumerate(times):
+            steps = t / d
+            if abs(steps - round(steps)) > 1e-9:
+                raise NumericalError(
+                    f"time bound {t} is not a multiple of the step {d}")
+            snapshots.setdefault(int(round(steps)), []).append(index)
+
+        groups = dict(self._step_groups(model, d))
+        base = groups.pop(0, sp.csr_matrix((n, n)))
+        impulse_items = [(cells, group)
+                         for cells, group in sorted(groups.items())
+                         if cells < num_cells]
+        reward_groups = [(int(value), np.flatnonzero(rho == value))
+                         for value in np.unique(rho)]
+        clamp = self.underflow == "clamp"
+        in_range = rho < num_cells
+
+        start = 0 if self.include_zero else 1
+        weight = np.zeros((n, num_cells))
+        weight[:, start:] = indicator[:, None]
+
+        out = np.empty((len(times), n))
+        for advances in range(num_steps):
+            # `advances` applications done: the weight array holds the
+            # values for the horizon (advances + 1) * d.
+            for index in snapshots.get(advances + 1, ()):
+                result = np.zeros(n)
+                result[in_range] = weight[in_range, rho[in_range]]
+                out[index] = np.clip(result, 0.0, 1.0)
+            if advances == num_steps - 1:
+                break
+            merged = stay[:, None] * weight + base @ weight
+            for cells, group in impulse_items:
+                down = np.zeros_like(weight)
+                down[:, :num_cells - cells] = weight[:, cells:]
+                merged += group @ down
+            stats.matvec_count += 1 + len(impulse_items)
+            stats.propagation_steps += 1
+            shifted = np.zeros_like(weight)
+            for value, states in reward_groups:
+                if value == 0:
+                    shifted[states] = merged[states]
+                elif value < num_cells:
+                    shifted[states, :num_cells - value] = \
+                        merged[states, value:]
+                    if clamp:
+                        shifted[states, 0] += \
+                            merged[states, :value].sum(axis=1)
+                elif clamp:
+                    shifted[states, 0] = merged[states, :].sum(axis=1)
+            weight = shifted
+        return out
 
     def final_density_batch(self,
                             model: MarkovRewardModel,

@@ -39,18 +39,20 @@ discretisation-vs-Erlang comparison detected.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.algorithms.base import JointEngine, register_engine
-from repro.algorithms.cache import matrix_cache
+from repro.algorithms.cache import EngineStats, matrix_cache
+from repro.algorithms.parallel import threaded_map
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
-from repro.numerics.uniformization import (transient_distribution,
-                                           transient_target_probabilities)
+from repro.numerics.uniformization import (
+    transient_distribution, transient_target_probabilities,
+    transient_target_probabilities_sweep)
 
 
 def erlang_expanded_model(model: MarkovRewardModel,
@@ -160,11 +162,16 @@ class ErlangEngine(JointEngine):
 
     name = "erlang"
 
-    def __init__(self, phases: int = 64, epsilon: float = 1e-12):
+    def __init__(self, phases: int = 64, epsilon: float = 1e-12,
+                 max_workers: Optional[int] = None):
         if phases < 1:
             raise NumericalError(f"need at least one phase, got {phases}")
         self.phases = int(phases)
         self.epsilon = float(epsilon)
+        #: Thread count of the per-reward-bound sweep fan-out
+        #: (``None`` = automatic, see :mod:`repro.algorithms.parallel`).
+        #: Not part of the cache token: it never changes values.
+        self.max_workers = max_workers
         self.last_expanded_size: Optional[int] = None
 
     def _cache_token(self) -> Tuple:
@@ -180,23 +187,79 @@ class ErlangEngine(JointEngine):
         One backward series on the ``|S| * k + 1``-state expanded CTMC
         yields every initial state at once (the phase-0 entries).
         """
+        if t == 0.0:
+            # Y_0 = 0 <= r for any r >= 0: only the target matters.
+            return indicator.astype(float).copy()
         if r == 0.0:
             return zero_reward_bound_vector(model, t, indicator,
                                             epsilon=self.epsilon)
         expanded, barrier = erlang_expanded_model(model, r, self.phases)
         self.last_expanded_size = expanded.num_states
+        vector = transient_target_probabilities(
+            expanded, t, self._expanded_indicator(expanded, indicator),
+            epsilon=self.epsilon, stats=self.stats)
+        # Initial phase is 0: read off the (s, 0) entries.
+        result = vector[0:barrier:self.phases].copy()
+        return np.clip(result, 0.0, 1.0)
+
+    def _expanded_indicator(self, expanded: CTMC,
+                            indicator: np.ndarray) -> np.ndarray:
+        """Target mask on the expanded chain: any phase of a target
+        state (phase < k means the Erlang bound is not yet exceeded)."""
         k = self.phases
-        # Target: any phase of a target state (phases < k mean the
-        # Erlang bound has not been exceeded).
         expanded_indicator = np.zeros(expanded.num_states)
         for s in np.flatnonzero(indicator):
             expanded_indicator[s * k:(s + 1) * k] = indicator[s]
-        vector = transient_target_probabilities(
-            expanded, t, expanded_indicator, epsilon=self.epsilon,
-            stats=self.stats)
-        # Initial phase is 0: read off the (s, 0) entries.
-        result = vector[0:barrier:k].copy()
-        return np.clip(result, 0.0, 1.0)
+        return expanded_indicator
+
+    def _compute_joint_sweep(self,
+                             model: MarkovRewardModel,
+                             times: Sequence[float],
+                             rewards: Sequence[float],
+                             indicator: np.ndarray) -> np.ndarray:
+        """Shared-iterate sweep with a threaded per-``r`` fan-out.
+
+        The expanded chain depends on ``r`` only, and on it the
+        backward iterates ``P^k w`` are shared by every time bound --
+        so each reward bound costs **one** series to the largest
+        truncation point (re-weighted per ``t``) instead of
+        ``len(times)`` runs.  The remaining independent work -- one
+        expanded chain per distinct ``r`` -- fans out over threads
+        (scipy's sparse products release the GIL); results keep grid
+        order and the per-worker counters are merged deterministically.
+        """
+        times = [float(t) for t in times]
+
+        def column(reward: float):
+            stats = EngineStats()
+            if reward == 0.0:
+                rows = zero_reward_bound_sweep(model, times, indicator,
+                                               epsilon=self.epsilon,
+                                               stats=stats)
+                return rows, stats, None
+            expanded, barrier = erlang_expanded_model(model, reward,
+                                                      self.phases)
+            rows = transient_target_probabilities_sweep(
+                expanded, times,
+                self._expanded_indicator(expanded, indicator),
+                epsilon=self.epsilon, stats=stats)
+            column_values = np.clip(
+                rows[:, 0:barrier:self.phases], 0.0, 1.0)
+            return column_values, stats, expanded.num_states
+
+        columns = threaded_map(column, [float(r) for r in rewards],
+                               max_workers=self.max_workers)
+        grid = np.empty((len(times), len(rewards), model.num_states))
+        for j, (values, stats, expanded_size) in enumerate(columns):
+            grid[:, j, :] = values
+            self.stats.merge(stats)
+            if expanded_size is not None:
+                self.last_expanded_size = expanded_size
+        # t = 0 rows: Y_0 = 0 <= r whatever r, matching the scalar path.
+        for i, t in enumerate(times):
+            if t == 0.0:
+                grid[i, :, :] = indicator.astype(float)
+        return grid
 
     def joint_probability_from(self,
                                model: MarkovRewardModel,
@@ -229,18 +292,19 @@ class ErlangEngine(JointEngine):
         return f"{type(self).__name__}(phases={self.phases})"
 
 
-def zero_reward_bound_vector(model: MarkovRewardModel,
-                             t: float,
-                             indicator: np.ndarray,
-                             epsilon: float = 1e-12) -> np.ndarray:
-    """Exact ``Pr{Y_t <= 0, X_t in S'}`` for every initial state.
+def _zero_reward_restriction(model: MarkovRewardModel,
+                             indicator: np.ndarray
+                             ) -> Tuple[CTMC, np.ndarray]:
+    """The restricted chain behind the ``r = 0`` special case.
 
     ``Y_t = 0`` holds exactly when the path spends no time in a state
     with positive reward and takes no transition with a positive
     impulse, i.e. (almost surely) never does either before time ``t``.
     We therefore make every positive-reward state absorbing, redirect
-    every positive-impulse transition into a fresh dead state, drop
-    such states from the target, and run a plain transient analysis.
+    every positive-impulse transition into a fresh dead state, and
+    drop such states from the target; returns the restricted chain and
+    the masked target indicator on it (the original states come
+    first).
     """
     n = model.num_states
     positive = model.rewards > 0.0
@@ -263,10 +327,48 @@ def zero_reward_bound_vector(model: MarkovRewardModel,
                 rates[source, n] += moved
         masked = np.zeros(n + 1)
         masked[:n] = np.where(positive, 0.0, indicator)
-        restricted = CTMC(rates.tocsr())
-        return transient_target_probabilities(restricted, t, masked,
-                                              epsilon=epsilon)[:n]
-    restricted = CTMC(rates.tocsr())
+        return CTMC(rates.tocsr()), masked
     masked = np.where(positive, 0.0, indicator)
-    return transient_target_probabilities(restricted, t, masked,
-                                          epsilon=epsilon)
+    return CTMC(rates.tocsr()), masked
+
+
+def zero_reward_bound_vector(model: MarkovRewardModel,
+                             t: float,
+                             indicator: np.ndarray,
+                             epsilon: float = 1e-12) -> np.ndarray:
+    """Exact ``Pr{Y_t <= 0, X_t in S'}`` for every initial state.
+
+    Transient analysis of the restricted chain of
+    :func:`_zero_reward_restriction`; at ``t = 0`` the answer is the
+    plain target indicator (no time has passed, so no reward has
+    accrued whatever the rates are).
+    """
+    if t == 0.0:
+        return np.asarray(indicator, dtype=float).copy()
+    restricted, masked = _zero_reward_restriction(model, indicator)
+    return transient_target_probabilities(
+        restricted, t, masked, epsilon=epsilon)[:model.num_states]
+
+
+def zero_reward_bound_sweep(model: MarkovRewardModel,
+                            times: Sequence[float],
+                            indicator: np.ndarray,
+                            epsilon: float = 1e-12,
+                            stats=None) -> np.ndarray:
+    """:func:`zero_reward_bound_vector` for many time bounds at once.
+
+    One restricted chain and one shared backward series cover every
+    time bound (see
+    :func:`~repro.numerics.uniformization.\
+transient_target_probabilities_sweep`); returns the ``(len(times),
+    |S|)`` array of per-initial-state values.
+    """
+    times = [float(t) for t in times]
+    restricted, masked = _zero_reward_restriction(model, indicator)
+    rows = transient_target_probabilities_sweep(
+        restricted, times, masked, epsilon=epsilon,
+        stats=stats)[:, :model.num_states]
+    for i, t in enumerate(times):
+        if t == 0.0:
+            rows[i] = np.asarray(indicator, dtype=float)
+    return rows

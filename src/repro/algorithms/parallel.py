@@ -1,0 +1,126 @@
+"""GIL-releasing threaded fan-out for independent engine queries.
+
+The sweep API (:meth:`~repro.algorithms.base.JointEngine.\
+joint_probability_sweep`) removes the redundancy *within* one
+``(t, r)`` grid, but a workload still contains genuinely independent
+computations: the distinct reduced models produced by
+``until_reduction`` for different formulas, or the distinct
+``r``-driven chain expansions of the pseudo-Erlang engine.  Those are
+embarrassingly parallel, and the heavy inner loops -- scipy's sparse
+matrix x dense block products and :func:`scipy.signal.lfilter` --
+release the GIL, so plain threads give real wall-clock parallelism
+without pickling models across processes.
+
+Design rules, enforced here so callers do not have to think about
+them:
+
+* **Deterministic ordering** -- results come back in task order
+  whatever the completion order, and worker statistics are merged in
+  task order too, so repeated runs are bit-identical.
+* **Per-worker statistics** -- every task runs on a shallow *clone* of
+  the engine with a private :class:`~repro.algorithms.cache.\
+EngineStats`; the clones share the accuracy parameters (hence the
+  result cache entries, the caches are lock-protected) but never race
+  on counters.  After the join, the clones' counters are merged into
+  ``engine.stats``.
+* **`max_workers` knob** -- ``None`` picks ``min(cpu_count, 8,
+  len(tasks))``; ``1`` (or a single task) degrades to a plain
+  sequential loop with zero threading overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Upper bound on the default worker count; fan-outs are memory-bound
+#: sparse kernels, so more threads than this rarely help.
+DEFAULT_WORKER_CAP = 8
+
+
+def resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
+    """The effective worker count for *num_tasks* tasks.
+
+    ``None`` means ``min(cpu_count, DEFAULT_WORKER_CAP, num_tasks)``;
+    explicit values are clipped to the task count (threads without
+    work are never spawned).
+    """
+    if num_tasks <= 0:
+        return 0
+    if max_workers is None:
+        available = os.cpu_count() or 1
+        return max(1, min(available, DEFAULT_WORKER_CAP, num_tasks))
+    return max(1, min(int(max_workers), num_tasks))
+
+
+def threaded_map(function: Callable[[_T], _R],
+                 items: Sequence[_T],
+                 max_workers: Optional[int] = None) -> List[_R]:
+    """``[function(x) for x in items]`` on a thread pool, order kept.
+
+    Falls back to a sequential loop when only one worker (or one item)
+    is effective.  Exceptions propagate to the caller exactly as in
+    the sequential case.
+    """
+    items = list(items)
+    workers = resolve_workers(max_workers, len(items))
+    if workers <= 1:
+        return [function(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(function, items))
+
+
+def parallel_joint_vectors(engine,
+                           queries: Iterable[Tuple],
+                           max_workers: Optional[int] = None
+                           ) -> List[np.ndarray]:
+    """Fan independent ``joint_probability_vector`` queries over threads.
+
+    *queries* is a sequence of ``(model, t, r, target)`` tuples --
+    typically distinct reduced models, or grid points no sweep can
+    share.  Results return in query order; every worker clone's
+    counters are merged into ``engine.stats`` afterwards.
+    """
+    queries = list(queries)
+    clones = [engine._worker_clone() for _ in queries]
+
+    def run(task):
+        clone, (model, t, r, target) = task
+        return clone.joint_probability_vector(model, t, r, target)
+
+    results = threaded_map(run, list(zip(clones, queries)), max_workers)
+    for clone in clones:
+        engine.stats.merge(clone.stats)
+    return results
+
+
+def parallel_joint_sweeps(engine,
+                          queries: Iterable[Tuple],
+                          max_workers: Optional[int] = None
+                          ) -> List[np.ndarray]:
+    """Fan independent ``joint_probability_sweep`` grids over threads.
+
+    *queries* is a sequence of ``(model, times, reward_bounds,
+    target)`` tuples; each yields a ``(len(times), len(reward_bounds),
+    |S|)`` grid.  This is the "distinct models" axis of parallelism --
+    each model's grid is itself evaluated with the shared-prefix sweep,
+    so the two reuse layers compose.
+    """
+    queries = list(queries)
+    clones = [engine._worker_clone() for _ in queries]
+
+    def run(task):
+        clone, (model, times, rewards, target) = task
+        return clone.joint_probability_sweep(model, times, rewards,
+                                             target)
+
+    results = threaded_map(run, list(zip(clones, queries)), max_workers)
+    for clone in clones:
+        engine.stats.merge(clone.stats)
+    return results

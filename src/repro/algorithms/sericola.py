@@ -266,50 +266,8 @@ class SericolaEngine(JointEngine):
                           for level in levels]
 
         for n in range(1, depth + 1):
-            u_next = matrix @ u
-            # P applied to every b(g, n-1, k) at once: rows k, states j.
-            pb = [(matrix @ b[g].T).T for g in range(m)]
-            self.stats.matvec_count += 1 + m
-            self.stats.propagation_steps += 1
-            new_b = [np.empty((n + 1, n_states)) for _ in range(m)]
-
-            # Pass 1 (ascending g): high rows, ascending k.
-            for g in range(1, m + 1):
-                lo_level, hi_level = levels[g - 1], levels[g]
-                boundary = u_next if g == 1 else new_b[g - 2][n]
-                for j in range(g, m + 1):
-                    rows = reward_classes[j]
-                    if rows.size == 0:
-                        continue
-                    value = levels[j]
-                    stay = (value - hi_level) / (value - lo_level)
-                    move = (hi_level - lo_level) / (value - lo_level)
-                    start = boundary[rows]
-                    new_b[g - 1][0, rows] = start
-                    new_b[g - 1][1:, rows] = _first_order_scan(
-                        stay, move, pb[g - 1][:n, rows], start)
-
-            # Pass 2 (descending g): low rows, descending k.
-            for g in range(m, 0, -1):
-                lo_level, hi_level = levels[g - 1], levels[g]
-                for j in range(0, g):
-                    rows = reward_classes[j]
-                    if rows.size == 0:
-                        continue
-                    value = levels[j]
-                    stay = (lo_level - value) / (hi_level - value)
-                    move = (hi_level - lo_level) / (hi_level - value)
-                    if g == m:
-                        tail = np.zeros(rows.size)
-                    else:
-                        tail = new_b[g][0, rows]
-                    new_b[g - 1][n, rows] = tail
-                    scanned = _first_order_scan(
-                        stay, move, pb[g - 1][:n, rows][::-1], tail)
-                    new_b[g - 1][:n, rows] = scanned[::-1]
-
-            b = new_b
-            u = u_next
+            u, b = self._advance_series(matrix, u, b, levels,
+                                        reward_classes)
             # Binomial weights: w(n,k) = (1-x) w(n-1,k) + x w(n-1,k-1).
             new_mix = np.zeros(n + 1)
             new_mix[:n] = (1.0 - x) * mix
@@ -354,6 +312,199 @@ class SericolaEngine(JointEngine):
             normalized_bound=x)
         return (np.clip(joint, 0.0, 1.0),
                 np.clip(complementary, 0.0, 1.0))
+
+    def _advance_series(self, matrix: sp.spmatrix, u: np.ndarray,
+                        b: List[np.ndarray], levels: np.ndarray,
+                        reward_classes: List[np.ndarray]):
+        """One step ``n-1 -> n`` of the column-aggregate recursion.
+
+        *u* is ``P^{n-1} 1_{S'}`` and ``b[g-1]`` the ``n x |S|`` array
+        of ``b(g, n-1, k)`` rows; returns the advanced ``(u, b)`` pair.
+        The step is independent of the query's ``(t, r)`` -- only the
+        Poisson and binomial weights applied to the returned vectors
+        depend on the bounds -- which is what the sweep path exploits
+        to serve a whole grid from one series.
+        """
+        m = len(b)
+        n = b[0].shape[0]
+        n_states = b[0].shape[1]
+        u_next = matrix @ u
+        # P applied to every b(g, n-1, k) at once: rows k, states j.
+        pb = [(matrix @ b[g].T).T for g in range(m)]
+        self.stats.matvec_count += 1 + m
+        self.stats.propagation_steps += 1
+        new_b = [np.empty((n + 1, n_states)) for _ in range(m)]
+
+        # Pass 1 (ascending g): high rows, ascending k.
+        for g in range(1, m + 1):
+            lo_level, hi_level = levels[g - 1], levels[g]
+            boundary = u_next if g == 1 else new_b[g - 2][n]
+            for j in range(g, m + 1):
+                rows = reward_classes[j]
+                if rows.size == 0:
+                    continue
+                value = levels[j]
+                stay = (value - hi_level) / (value - lo_level)
+                move = (hi_level - lo_level) / (value - lo_level)
+                start = boundary[rows]
+                new_b[g - 1][0, rows] = start
+                new_b[g - 1][1:, rows] = _first_order_scan(
+                    stay, move, pb[g - 1][:n, rows], start)
+
+        # Pass 2 (descending g): low rows, descending k.
+        for g in range(m, 0, -1):
+            lo_level, hi_level = levels[g - 1], levels[g]
+            for j in range(0, g):
+                rows = reward_classes[j]
+                if rows.size == 0:
+                    continue
+                value = levels[j]
+                stay = (lo_level - value) / (hi_level - value)
+                move = (hi_level - lo_level) / (hi_level - value)
+                if g == m:
+                    tail = np.zeros(rows.size)
+                else:
+                    tail = new_b[g][0, rows]
+                new_b[g - 1][n, rows] = tail
+                scanned = _first_order_scan(
+                    stay, move, pb[g - 1][:n, rows][::-1], tail)
+                new_b[g - 1][:n, rows] = scanned[::-1]
+
+        return u_next, new_b
+
+    # ------------------------------------------------------------------
+    # shared-prefix (t, r) grid path
+    # ------------------------------------------------------------------
+
+    def _compute_joint_sweep(self,
+                             model: MarkovRewardModel,
+                             times,
+                             rewards,
+                             indicator: np.ndarray) -> np.ndarray:
+        """The whole grid from **one** run of the series.
+
+        The expensive part of the algorithm -- the ``b(g, n, k)``
+        recursion (:meth:`_advance_series`) -- does not depend on the
+        bounds at all: ``(t, r)`` only enter through the Poisson
+        weights ``psi_n(lambda t)``, the level index ``h``, the
+        normalised bound ``x`` and the truncation depth.  So one series
+        advanced to the *deepest* truncation serves every grid point:
+        each point keeps its own binomial mixture (points sharing ``x``
+        share it), reads ``mix @ b[h-1]`` at each step, weighs with its
+        own Poisson term and stops accumulating at its own depth --
+        arithmetically identical to the scalar runs.  Points whose
+        bound never binds ride the same ``u_n = P^n 1_{S'}`` iterates
+        as a plain transient accumulation.
+
+        ``steady_state_detection`` is ignored on this path (detection
+        would have to trigger per grid point); the truncation bound
+        alone already guarantees the ``epsilon`` accuracy.
+        """
+        n_states = model.num_states
+        rho = model.rewards
+        if getattr(model, "has_impulse_rewards", False):
+            raise NumericalError(
+                "the occupation-time algorithm handles state-based "
+                "rewards only (paper, Section 2.1); use the "
+                "discretisation or pseudo-Erlang engine for impulse "
+                "rewards")
+        levels = np.unique(rho)
+        m = len(levels) - 1
+        rate = (model.max_exit_rate if self.uniformization_rate is None
+                else float(self.uniformization_rate))
+        grid = np.empty((len(times), len(rewards), n_states))
+        transient_points = []   # (i, j): the bound never binds
+        normal_points = []      # dicts: genuine series points
+        for i, t in enumerate(times):
+            for j, r in enumerate(rewards):
+                if t == 0.0:
+                    grid[i, j] = indicator.astype(float)
+                elif r >= levels[-1] * t:
+                    if rate == 0.0:
+                        grid[i, j] = indicator.astype(float)
+                    else:
+                        grid[i, j] = 0.0
+                        transient_points.append((i, j, t))
+                elif m == 0 or r < levels[0] * t:
+                    grid[i, j] = 0.0
+                elif rate == 0.0:
+                    exceeding = indicator * (rho * t > r).astype(float)
+                    grid[i, j] = indicator - exceeding
+                else:
+                    h = int(np.searchsorted(levels * t, r,
+                                            side="right"))
+                    x = ((r - levels[h - 1] * t)
+                         / ((levels[h] - levels[h - 1]) * t))
+                    q = rate * t
+                    normal_points.append({
+                        "i": i, "j": j, "h": h, "x": x,
+                        "depth": right_truncation_point(q, self.epsilon),
+                        "psi": poisson_weights(
+                            q, epsilon=min(self.epsilon * 1e-3, 1e-14)),
+                    })
+        if not transient_points and not normal_points:
+            return grid
+        matrix = model.uniformized_dtmc_matrix(rate)
+        trans = [(i, j, poisson_weights(
+                     rate * t, epsilon=min(self.epsilon * 1e-3, 1e-14)))
+                 for i, j, t in transient_points]
+
+        depth_b = max((p["depth"] for p in normal_points), default=0)
+        depth_u = max([depth_b] + [psi.right for _, _, psi in trans])
+
+        u = indicator.astype(float).copy()
+        if normal_points:
+            high_masks = [rho >= levels[g] for g in range(1, m + 1)]
+            b = [np.where(high_masks[g - 1], indicator,
+                          0.0).reshape(1, n_states).copy()
+                 for g in range(1, m + 1)]
+            reward_classes = [np.flatnonzero(rho == level)
+                              for level in levels]
+            mixes = {p["x"]: np.array([1.0]) for p in normal_points}
+            for p in normal_points:
+                inner = mixes[p["x"]] @ b[p["h"] - 1]
+                p["joint"] = p["psi"].probability(0) * (u - inner)
+        for i, j, psi in trans:
+            if psi.left == 0:
+                grid[i, j] += psi.weights[0] * u
+
+        for n in range(1, depth_u + 1):
+            if n <= depth_b:
+                u, b = self._advance_series(matrix, u, b, levels,
+                                            reward_classes)
+                for x, mix in mixes.items():
+                    new_mix = np.zeros(n + 1)
+                    new_mix[:n] = (1.0 - x) * mix
+                    new_mix[1:] += x * mix
+                    mixes[x] = new_mix
+                for p in normal_points:
+                    if n > p["depth"]:
+                        continue
+                    inner = mixes[p["x"]] @ b[p["h"] - 1]
+                    weight = p["psi"].probability(n)
+                    if weight > 0.0:
+                        p["joint"] += weight * (u - inner)
+            else:
+                # Past every series depth only the transient
+                # accumulations remain: advance u alone.
+                u = matrix @ u
+                self.stats.matvec_count += 1
+                self.stats.propagation_steps += 1
+            for i, j, psi in trans:
+                if psi.left <= n <= psi.right:
+                    grid[i, j] += psi.weights[n - psi.left] * u
+
+        for p in normal_points:
+            grid[p["i"], p["j"]] = np.clip(p["joint"], 0.0, 1.0)
+        if normal_points:
+            deepest = max(normal_points, key=lambda p: p["depth"])
+            self.last_diagnostics = SericolaDiagnostics(
+                truncation_steps=deepest["depth"],
+                uniformization_rate=rate,
+                reward_levels=m + 1,
+                level_index=deepest["h"],
+                normalized_bound=deepest["x"])
+        return grid
 
     # ------------------------------------------------------------------
 

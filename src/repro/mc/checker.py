@@ -16,12 +16,14 @@ from typing import Dict, FrozenSet, Optional, Union
 import numpy as np
 
 from repro.algorithms.base import JointEngine, get_engine
+from repro.algorithms.parallel import parallel_joint_sweeps
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import FormulaError
 from repro.logic import ast
 from repro.logic.parser import parse_formula
 from repro.mc import next_op, reward_op, steady, until
 from repro.mc.result import CheckResult
+from repro.mc.transform import until_reduction
 
 FormulaLike = Union[str, ast.StateFormula]
 
@@ -162,6 +164,53 @@ EngineStats` as a plain dict: ``cache_hits``/``cache_misses`` against
         if isinstance(path, ast.Until):
             return self._until_probabilities(path)
         raise FormulaError(f"unknown path formula {path!r}")
+
+    def until_probability_sweep(self,
+                                left: FormulaLike,
+                                right: FormulaLike,
+                                times,
+                                rewards) -> np.ndarray:
+        """P3 probabilities for a whole grid of ``(t, r)`` bounds.
+
+        Returns the ``(len(times), len(rewards), |S|)`` array whose
+        cell ``[i, j]`` is the per-state probability of ``left
+        U^{[0, times[i]]}_{[0, rewards[j]]} right`` -- the workload of
+        the paper's tables, where one formula is swept over its bounds.
+        The satisfaction sets and the Theorem 1 reduction are computed
+        once and the engine shares the propagation prefix across the
+        grid (:meth:`JointEngine.joint_probability_sweep`), instead of
+        one full propagation per bound pair.
+        """
+        phi = set(self.satisfaction_set(left))
+        psi = set(self.satisfaction_set(right))
+        return until.time_reward_bounded_until_sweep(
+            self.model, phi, psi, times, rewards, self.engine)
+
+    def until_probability_sweeps(self,
+                                 pairs,
+                                 times,
+                                 rewards,
+                                 max_workers: Optional[int] = None):
+        """One bound grid per ``(left, right)`` formula pair, threaded.
+
+        The satisfaction sets and reductions are computed serially on
+        the calling thread (the formula cache is not thread safe), then
+        the per-model grids -- genuinely independent computations --
+        are fanned out with :func:`~repro.algorithms.parallel.\\
+parallel_joint_sweeps`: each worker evaluates one reduced model's grid
+        with the shared-prefix sweep, so the two reuse layers compose.
+        Results come back in *pairs* order and the workers' counters
+        are merged into :attr:`engine_stats`.
+        """
+        queries = []
+        for left, right in pairs:
+            phi = set(self.satisfaction_set(left))
+            psi = set(self.satisfaction_set(right))
+            reduced = until_reduction(self.model, phi, psi)
+            queries.append((reduced, times, rewards, psi))
+        grids = parallel_joint_sweeps(self.engine, queries,
+                                      max_workers=max_workers)
+        return [np.clip(grid, 0.0, 1.0) for grid in grids]
 
     # ------------------------------------------------------------------
     # internals

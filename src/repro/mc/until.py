@@ -22,7 +22,7 @@ checker) compares against the probability bound.
 from __future__ import annotations
 
 import math
-from typing import Optional, Set
+from typing import Optional, Sequence, Set
 
 import numpy as np
 
@@ -157,3 +157,36 @@ def time_reward_bounded_until(model: MarkovRewardModel,
     vector = engine.joint_probability_vector(
         reduced, time.upper, reward.upper, psi)
     return np.clip(vector, 0.0, 1.0)
+
+
+def time_reward_bounded_until_sweep(model: MarkovRewardModel,
+                                    phi: Set[int],
+                                    psi: Set[int],
+                                    times: Sequence[float],
+                                    rewards: Sequence[float],
+                                    engine: JointEngine) -> np.ndarray:
+    """P3 probabilities for a whole ``(t, r)`` grid of bounds.
+
+    Returns the ``(len(times), len(rewards), |S|)`` array whose cell
+    ``[i, j]`` equals :func:`time_reward_bounded_until` with
+    ``I = [0, times[i]]`` and ``J = [0, rewards[j]]``.  The Theorem 1
+    reduction is performed **once** -- it only depends on the
+    satisfaction sets, not on the bounds -- and the engine evaluates
+    the grid with its shared-prefix sweep
+    (:meth:`JointEngine.joint_probability_sweep`) instead of one
+    propagation per bound pair.  All bounds must be finite; unbounded
+    rows or columns belong to the cheaper P0--P2 procedures.
+    """
+    for t in times:
+        if math.isinf(t):
+            raise UnsupportedFormulaError(
+                "sweep grids need finite time bounds; check an "
+                "unbounded formula separately")
+    for r in rewards:
+        if math.isinf(r):
+            raise UnsupportedFormulaError(
+                "sweep grids need finite reward bounds; check an "
+                "unbounded formula separately")
+    reduced = until_reduction(model, phi, psi)
+    grid = engine.joint_probability_sweep(reduced, times, rewards, psi)
+    return np.clip(grid, 0.0, 1.0)

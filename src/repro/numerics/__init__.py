@@ -15,10 +15,10 @@ the model-checking procedures rest:
 
 from repro.numerics.poisson import (PoissonWeights, poisson_weights,
                                     right_truncation_point)
-from repro.numerics.uniformization import (transient_distribution,
-                                           transient_matrix,
-                                           expected_accumulated_reward,
-                                           expected_instantaneous_reward)
+from repro.numerics.uniformization import (
+    transient_distribution, transient_matrix,
+    transient_target_probabilities, transient_target_probabilities_sweep,
+    expected_accumulated_reward, expected_instantaneous_reward)
 from repro.numerics.linear import (solve_linear_system,
                                    stationary_distribution)
 from repro.numerics.dtmc import (embedded_dtmc,
@@ -27,6 +27,8 @@ from repro.numerics.dtmc import (embedded_dtmc,
 __all__ = [
     "PoissonWeights", "poisson_weights", "right_truncation_point",
     "transient_distribution", "transient_matrix",
+    "transient_target_probabilities",
+    "transient_target_probabilities_sweep",
     "expected_accumulated_reward", "expected_instantaneous_reward",
     "solve_linear_system", "stationary_distribution",
     "embedded_dtmc", "reachability_probabilities",

@@ -50,8 +50,8 @@ def transient_distribution(model: CTMC,
                            initial: Optional[Sequence[float]] = None,
                            epsilon: float = 1e-12,
                            uniformization_rate: Optional[float] = None,
-                           steady_state_detection: bool = True
-                           ) -> np.ndarray:
+                           steady_state_detection: bool = True,
+                           stats=None) -> np.ndarray:
     """The state distribution ``pi(t)`` of *model* at time *t*.
 
     Parameters
@@ -73,6 +73,11 @@ def transient_distribution(model: CTMC,
     steady_state_detection:
         Stop the series early once the uniformised vector has converged
         (the remaining Poisson mass then multiplies a fixed vector).
+    stats:
+        Optional counter object with ``matvec_count`` and
+        ``propagation_steps`` attributes (e.g.
+        :class:`repro.algorithms.cache.EngineStats`); the series length
+        and the number of sparse products are added to it.
     """
     if t < 0.0:
         raise NumericalError(f"time must be >= 0, got {t}")
@@ -89,13 +94,15 @@ def transient_distribution(model: CTMC,
     result = np.zeros_like(vector)
     tolerance = (epsilon * _STEADY_STATE_TOLERANCE_FACTOR
                  / max(1.0, float(len(weights))))
-    previous = vector
     for k in range(weights.right + 1):
         if k >= weights.left:
             result += weights.weights[k - weights.left] * vector
         if k == weights.right:
             break
         next_vector = vector @ matrix
+        if stats is not None:
+            stats.matvec_count += 1
+            stats.propagation_steps += 1
         if steady_state_detection and k >= weights.left:
             if np.max(np.abs(next_vector - vector)) < tolerance:
                 # Steady state reached: the remaining Poisson mass all
@@ -103,7 +110,6 @@ def transient_distribution(model: CTMC,
                 remaining = weights.weights[k + 1 - weights.left:].sum()
                 result += remaining * next_vector
                 return result
-        previous = vector
         vector = next_vector
     return result
 
@@ -155,25 +161,99 @@ def transient_target_probabilities(model: CTMC,
     return result
 
 
+def transient_target_probabilities_sweep(model: CTMC,
+                                         times: Sequence[float],
+                                         indicator: Sequence[float],
+                                         epsilon: float = 1e-12,
+                                         uniformization_rate:
+                                         Optional[float] = None,
+                                         stats=None) -> np.ndarray:
+    """:func:`transient_target_probabilities` for a whole list of
+    time bounds from **one** shared backward series.
+
+    The iterates ``P^k 1_{S'}`` of the backward uniformisation series
+    do not depend on ``t`` -- only the Poisson weights do -- so a sweep
+    over *times* runs the series once to the largest truncation point
+    and re-weights every iterate per time bound.  Returns the
+    ``(len(times), |S|)`` array whose row ``i`` equals the
+    single-``t`` call with ``times[i]`` (same weights, same iterates --
+    the values are arithmetically identical).
+    """
+    vector = np.asarray(indicator, dtype=float)
+    if vector.shape != (model.num_states,):
+        raise NumericalError(
+            f"indicator has shape {vector.shape}, expected "
+            f"({model.num_states},)")
+    times = [float(t) for t in times]
+    for t in times:
+        if t < 0.0:
+            raise NumericalError(f"time must be >= 0, got {t}")
+    vector = vector.copy()
+    results = np.zeros((len(times), model.num_states))
+    rate = (model.max_exit_rate if uniformization_rate is None
+            else float(uniformization_rate))
+    if rate == 0.0:
+        results[:] = vector
+        return results
+    weight_rows = []
+    for i, t in enumerate(times):
+        if t == 0.0:
+            results[i] = vector
+            weight_rows.append(None)
+        else:
+            weight_rows.append(poisson_weights(rate * t, epsilon=epsilon))
+    depth = max((w.right for w in weight_rows if w is not None),
+                default=0)
+    matrix = model.uniformized_dtmc_matrix(rate)
+    for k in range(depth + 1):
+        for i, weights in enumerate(weight_rows):
+            if weights is not None and weights.left <= k <= weights.right:
+                results[i] += weights.weights[k - weights.left] * vector
+        if k == depth:
+            break
+        vector = matrix @ vector
+        if stats is not None:
+            stats.matvec_count += 1
+            stats.propagation_steps += 1
+    return results
+
+
 def transient_matrix(model: CTMC,
                      t: float,
                      epsilon: float = 1e-12,
-                     uniformization_rate: Optional[float] = None
-                     ) -> np.ndarray:
+                     uniformization_rate: Optional[float] = None,
+                     stats=None) -> np.ndarray:
     """All-pairs transient probabilities ``Pi(t)[i, j] = Pr{X_t = j | X_0 = i}``.
 
-    Computed column-block-wise by running uniformisation from every
-    deterministic initial state; dense output of shape ``(n, n)``.
+    Computed in a **single** uniformisation pass over a dense identity
+    block: the iterates ``P^k`` applied to ``I`` are accumulated with
+    the Poisson weights, so every initial state advances through one
+    sparse x dense product per series term instead of ``|S|``
+    independent vector runs.  Dense output of shape ``(n, n)``.
     """
+    if t < 0.0:
+        raise NumericalError(f"time must be >= 0, got {t}")
     n = model.num_states
+    rate = (model.max_exit_rate if uniformization_rate is None
+            else float(uniformization_rate))
+    if t == 0.0 or n == 0 or rate == 0.0:
+        return np.eye(n)
+    # Propagate the transposed block: column i holds the distribution
+    # from initial state i, and pi' = pi P transposes to P^T pi^T.
+    transposed = model.uniformized_dtmc_matrix(rate).transpose().tocsr()
+    weights = poisson_weights(rate * t, epsilon=epsilon)
+    block = np.eye(n)
     result = np.zeros((n, n))
-    for i in range(n):
-        start = np.zeros(n)
-        start[i] = 1.0
-        result[i] = transient_distribution(
-            model, t, initial=start, epsilon=epsilon,
-            uniformization_rate=uniformization_rate)
-    return result
+    for k in range(weights.right + 1):
+        if k >= weights.left:
+            result += weights.weights[k - weights.left] * block
+        if k == weights.right:
+            break
+        block = transposed @ block
+        if stats is not None:
+            stats.matvec_count += 1
+            stats.propagation_steps += 1
+    return result.T
 
 
 def expected_instantaneous_reward(model,
@@ -194,11 +274,14 @@ def expected_instantaneous_reward(model,
 def expected_accumulated_reward(model,
                                 t: float,
                                 rewards: Optional[Sequence[float]] = None,
-                                epsilon: float = 1e-12) -> float:
+                                epsilon: float = 1e-12,
+                                stats=None) -> float:
     """Expected accumulated reward ``E[Y_t] = int_0^t E[rho(X_u)] du``.
 
     Uses the Poisson-tail formulation of the integral of the transient
-    distribution, so the cost is one uniformisation run.
+    distribution, so the cost is one uniformisation run.  *stats*, when
+    given, receives the series length and sparse-product count the way
+    :func:`transient_target_probabilities` does.
     """
     if t < 0.0:
         raise NumericalError(f"time must be >= 0, got {t}")
@@ -231,6 +314,9 @@ def expected_accumulated_reward(model,
         total += tail * float(vector @ rho)
         if k < weights.right:
             vector = vector @ matrix
+            if stats is not None:
+                stats.matvec_count += 1
+                stats.propagation_steps += 1
     # Account for the (up to `left`) leading terms whose tail is 1 but
     # which the loop already covers, and normalise by the rate.
     return total / rate

@@ -1,0 +1,316 @@
+"""Sweep evaluation and threaded fan-out.
+
+Covers the shared-prefix ``(t, r)`` grid layer on top of the engines:
+
+* :meth:`JointEngine.joint_probability_sweep` agrees with a per-point
+  loop of scalar :meth:`joint_probability_vector` calls (to 1e-10, in
+  practice bit-identical) for all three engines -- on random MRMs, on
+  the reduced case-study model, on impulse models (discretisation and
+  pseudo-Erlang; the occupation-time engine rejects impulses), and on
+  grids containing the ``t == 0`` and ``r == 0`` edge rows;
+* sweep and scalar calls share the result cache per grid point, and
+  ``stats.sweep_points`` accounts the grid cells served;
+* the threaded fan-out returns results in task order with merged
+  worker statistics, bit-identical to the sequential run;
+* the model checker's grid API matches per-formula checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (DiscretizationEngine, ErlangEngine,
+                              SericolaEngine, clear_caches, joint_cache,
+                              parallel_joint_sweeps,
+                              parallel_joint_vectors, threaded_map)
+from repro.algorithms.parallel import resolve_workers
+from repro.ctmc import ModelBuilder
+from repro.errors import NumericalError
+from repro.mc.checker import ModelChecker
+from repro.models.adhoc import Q3_REWARD_BOUND, Q3_TIME_BOUND
+from repro.models.workloads import random_mrm
+from repro.numerics.uniformization import (
+    transient_target_probabilities, transient_target_probabilities_sweep)
+
+
+def engines():
+    return [SericolaEngine(epsilon=1e-12),
+            ErlangEngine(phases=48),
+            DiscretizationEngine(step=1.0 / 16)]
+
+
+TIMES = [0.0, 0.5, 1.0, 2.0]
+REWARDS = [0.0, 0.5, 1.5, 3.0]
+
+
+def scalar_grid(engine, model, times, rewards, target):
+    grid = np.empty((len(times), len(rewards), model.num_states))
+    for i, t in enumerate(times):
+        for j, r in enumerate(rewards):
+            grid[i, j] = engine.joint_probability_vector(
+                model, t, r, target)
+    return grid
+
+
+@pytest.fixture
+def impulse_model():
+    builder = ModelBuilder()
+    builder.add_state("a", labels=("green",), reward=0.0)
+    builder.add_state("b", labels=("green",), reward=1.0)
+    builder.add_state("c", reward=2.0)
+    builder.add_transition("a", "b", 0.8, impulse=1.0)
+    builder.add_transition("b", "c", 1.2)
+    builder.add_transition("c", "a", 0.5, impulse=2.0)
+    return builder.build(initial_state="a")
+
+
+# ----------------------------------------------------------------------
+# sweep == per-point scalar loop
+# ----------------------------------------------------------------------
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("engine", engines(), ids=lambda e: e.name)
+    def test_random_mrm_with_edge_rows(self, engine):
+        model = random_mrm(12, seed=20020623,
+                           reward_levels=(0.0, 1.0, 2.0))
+        target = set(model.states_with("green")) or {0}
+        clear_caches()
+        swept = engine.joint_probability_sweep(model, TIMES, REWARDS,
+                                               target)
+        clear_caches()
+        loop = scalar_grid(engine, model, TIMES, REWARDS, target)
+        np.testing.assert_allclose(swept, loop, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "engine",
+        [SericolaEngine(epsilon=1e-12), ErlangEngine(phases=48),
+         DiscretizationEngine(step=1.0 / 32)],  # exit rates up to 19.5
+        ids=lambda e: e.name)
+    def test_adhoc_reduced(self, adhoc_reduced, engine):
+        model = adhoc_reduced.model
+        target = {adhoc_reduced.goal_state}
+        times = [Q3_TIME_BOUND / 4, Q3_TIME_BOUND / 2]
+        rewards = [Q3_REWARD_BOUND / 4, Q3_REWARD_BOUND]
+        clear_caches()
+        swept = engine.joint_probability_sweep(model, times, rewards,
+                                               target)
+        clear_caches()
+        loop = scalar_grid(engine, model, times, rewards, target)
+        np.testing.assert_allclose(swept, loop, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "engine",
+        [ErlangEngine(phases=48), DiscretizationEngine(step=1.0 / 16)],
+        ids=lambda e: e.name)
+    def test_impulse_model(self, impulse_model, engine):
+        target = set(impulse_model.states_with("green"))
+        times = [0.0, 0.5, 1.5]
+        rewards = [0.0, 1.0, 2.5]
+        clear_caches()
+        swept = engine.joint_probability_sweep(impulse_model, times,
+                                               rewards, target)
+        clear_caches()
+        loop = scalar_grid(engine, impulse_model, times, rewards, target)
+        np.testing.assert_allclose(swept, loop, atol=1e-10)
+
+    def test_sericola_rejects_impulses(self, impulse_model):
+        engine = SericolaEngine()
+        with pytest.raises(NumericalError, match="state-based"):
+            engine.joint_probability_sweep(impulse_model, [1.0], [1.0],
+                                           {0})
+
+    @pytest.mark.parametrize("engine", engines(), ids=lambda e: e.name)
+    def test_duplicate_grid_entries_collapse(self, flip_flop, engine):
+        clear_caches()
+        swept = engine.joint_probability_sweep(
+            flip_flop, [1.0, 1.0], [2.0, 2.0], {1})
+        np.testing.assert_array_equal(swept[0, 0], swept[1, 1])
+        vector = engine.joint_probability_vector(flip_flop, 1.0, 2.0,
+                                                 {1})
+        np.testing.assert_allclose(swept[0, 0], vector, atol=1e-12)
+
+    @pytest.mark.parametrize("engine", engines(), ids=lambda e: e.name)
+    def test_negative_bounds_rejected(self, flip_flop, engine):
+        with pytest.raises(NumericalError):
+            engine.joint_probability_sweep(flip_flop, [-1.0], [1.0], {1})
+        with pytest.raises(NumericalError):
+            engine.joint_probability_sweep(flip_flop, [1.0], [-1.0], {1})
+
+
+# ----------------------------------------------------------------------
+# cache interoperability and counters
+# ----------------------------------------------------------------------
+
+class TestSweepCache:
+    def test_scalar_prefills_sweep(self, three_level_chain):
+        engine = SericolaEngine(epsilon=1e-12)
+        clear_caches()
+        vector = engine.joint_probability_vector(three_level_chain,
+                                                 1.0, 1.5, {2})
+        hits_before = engine.stats.cache_hits
+        swept = engine.joint_probability_sweep(
+            three_level_chain, [1.0, 2.0], [1.5], {2})
+        assert engine.stats.cache_hits == hits_before + 1
+        np.testing.assert_array_equal(swept[0, 0], vector)
+
+    def test_sweep_prefills_scalar(self, three_level_chain):
+        engine = SericolaEngine(epsilon=1e-12)
+        clear_caches()
+        swept = engine.joint_probability_sweep(
+            three_level_chain, [1.0, 2.0], [0.5, 1.5], {2})
+        hits_before = engine.stats.cache_hits
+        vector = engine.joint_probability_vector(three_level_chain,
+                                                 2.0, 0.5, {2})
+        assert engine.stats.cache_hits == hits_before + 1
+        np.testing.assert_array_equal(vector, swept[1, 0])
+
+    def test_sweep_points_counter(self, flip_flop):
+        engine = DiscretizationEngine(step=1.0 / 8)
+        clear_caches()
+        engine.joint_probability_sweep(flip_flop, [1.0, 2.0],
+                                       [1.0, 2.0, 4.0], {1})
+        assert engine.stats.sweep_points == 6
+        assert engine.stats.cache_misses == 6
+        engine.joint_probability_sweep(flip_flop, [1.0, 2.0],
+                                       [1.0, 2.0, 4.0], {1})
+        assert engine.stats.sweep_points == 12
+        assert engine.stats.cache_hits == 6
+
+    def test_partial_grid_only_computes_missing(self, flip_flop):
+        engine = SericolaEngine(epsilon=1e-12)
+        clear_caches()
+        engine.joint_probability_sweep(flip_flop, [1.0], [1.0], {1})
+        misses_before = engine.stats.cache_misses
+        engine.joint_probability_sweep(flip_flop, [1.0, 2.0],
+                                       [1.0, 3.0], {1})
+        assert engine.stats.cache_misses == misses_before + 3
+        assert engine.stats.cache_hits >= 1
+
+
+# ----------------------------------------------------------------------
+# threaded fan-out
+# ----------------------------------------------------------------------
+
+class TestParallelFanOut:
+    def test_resolve_workers(self):
+        assert resolve_workers(None, 0) == 0
+        assert resolve_workers(None, 3) <= 3
+        assert resolve_workers(4, 2) == 2
+        assert resolve_workers(1, 100) == 1
+
+    def test_threaded_map_keeps_order(self):
+        items = list(range(50))
+        assert threaded_map(lambda x: x * x, items, max_workers=4) == \
+            [x * x for x in items]
+
+    def test_parallel_sweeps_match_sequential(self):
+        models = [random_mrm(8, seed=s, reward_levels=(0.0, 1.0, 2.0))
+                  for s in (1, 2, 3)]
+        queries = [(m, [0.5, 1.0], [1.0, 2.0], {0, 1}) for m in models]
+        engine = SericolaEngine(epsilon=1e-12)
+        clear_caches()
+        sequential = [engine.joint_probability_sweep(*q)
+                      for q in queries]
+        clear_caches()
+        engine.stats.reset()
+        threaded = parallel_joint_sweeps(engine, queries, max_workers=3)
+        for seq, thr in zip(sequential, threaded):
+            np.testing.assert_array_equal(seq, thr)
+        # the clones' counters were merged back into the engine
+        assert engine.stats.sweep_points == 4 * len(queries)
+        assert engine.stats.cache_misses == 4 * len(queries)
+
+    def test_parallel_vectors_match_sequential(self):
+        models = [random_mrm(8, seed=s, reward_levels=(0.0, 1.0, 2.0))
+                  for s in (4, 5)]
+        queries = [(m, 1.0, 1.5, {0}) for m in models]
+        engine = ErlangEngine(phases=32)
+        clear_caches()
+        sequential = [engine.joint_probability_vector(*q)
+                      for q in queries]
+        clear_caches()
+        engine.stats.reset()
+        threaded = parallel_joint_vectors(engine, queries,
+                                          max_workers=2)
+        for seq, thr in zip(sequential, threaded):
+            np.testing.assert_array_equal(seq, thr)
+        assert engine.stats.cache_misses == len(queries)
+
+    def test_erlang_threaded_columns_deterministic(self):
+        model = random_mrm(8, seed=6, reward_levels=(0.0, 1.0, 2.0))
+        serial = ErlangEngine(phases=32, max_workers=1)
+        threaded = ErlangEngine(phases=32, max_workers=4)
+        clear_caches()
+        first = serial.joint_probability_sweep(
+            model, [0.5, 1.0], [0.0, 1.0, 2.0], {0, 2})
+        clear_caches()
+        second = threaded.joint_probability_sweep(
+            model, [0.5, 1.0], [0.0, 1.0, 2.0], {0, 2})
+        np.testing.assert_array_equal(first, second)
+
+    def test_worker_clone_shares_cache_token(self):
+        engine = SericolaEngine(epsilon=1e-10)
+        clone = engine._worker_clone()
+        assert clone._cache_token() == engine._cache_token()
+        assert clone.stats is not engine.stats
+
+
+# ----------------------------------------------------------------------
+# model checker routing
+# ----------------------------------------------------------------------
+
+class TestCheckerSweep:
+    def test_grid_matches_per_formula_checks(self, three_level_chain):
+        checker = ModelChecker(three_level_chain,
+                               engine=SericolaEngine(epsilon=1e-12))
+        times = [0.5, 1.0, 2.0]
+        rewards = [0.5, 2.0]
+        clear_caches()
+        grid = checker.until_probability_sweep("busy", "halt", times,
+                                               rewards)
+        assert grid.shape == (3, 2, three_level_chain.num_states)
+        for i, t in enumerate(times):
+            for j, r in enumerate(rewards):
+                clear_caches()
+                vector = checker.probability_vector(
+                    checker._normalize(
+                        f"P>0 [ busy U[0,{t}][0,{r}] halt ]").path)
+                np.testing.assert_allclose(grid[i, j], vector,
+                                           atol=1e-10)
+
+    def test_multi_pair_fan_out(self, three_level_chain):
+        checker = ModelChecker(three_level_chain,
+                               engine=SericolaEngine(epsilon=1e-12))
+        times, rewards = [0.5, 1.5], [1.0, 3.0]
+        pairs = [("busy", "halt"), ("true", "halt")]
+        clear_caches()
+        grids = checker.until_probability_sweeps(pairs, times, rewards,
+                                                 max_workers=2)
+        assert len(grids) == 2
+        clear_caches()
+        for (left, right), grid in zip(pairs, grids):
+            direct = checker.until_probability_sweep(left, right,
+                                                     times, rewards)
+            np.testing.assert_allclose(grid, direct, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# uniformisation-level sweep primitive
+# ----------------------------------------------------------------------
+
+class TestTransientSweep:
+    def test_matches_scalar_transient(self, three_level_chain):
+        indicator = np.array([0.0, 1.0, 1.0])
+        times = [0.0, 0.25, 1.0, 4.0]
+        swept = transient_target_probabilities_sweep(
+            three_level_chain, times, indicator)
+        for i, t in enumerate(times):
+            single = transient_target_probabilities(
+                three_level_chain, t, indicator)
+            np.testing.assert_allclose(swept[i], single, atol=1e-12)
+
+    def test_rejects_negative_times(self, three_level_chain):
+        with pytest.raises(NumericalError):
+            transient_target_probabilities_sweep(
+                three_level_chain, [-1.0], np.array([1.0, 0.0, 0.0]))

@@ -116,6 +116,26 @@ class TestBackwardTransient:
         assert np.allclose(transient_matrix(chain, t, epsilon=1e-13),
                            expm_reference(chain, t), atol=1e-10)
 
+    def test_transient_matrix_time_zero(self):
+        chain = random_ctmc(4, 22)
+        assert np.allclose(transient_matrix(chain, 0.0), np.eye(4))
+
+    def test_stats_plumbing(self):
+        from repro.algorithms.cache import EngineStats
+        chain = random_ctmc(4, 23)
+        stats = EngineStats()
+        transient_distribution(chain, 1.3, stats=stats)
+        assert stats.matvec_count > 0
+        assert stats.propagation_steps == stats.matvec_count
+        before = stats.matvec_count
+        transient_matrix(chain, 1.3, stats=stats)
+        assert stats.matvec_count > before
+        model = MarkovRewardModel(chain.rate_matrix,
+                                  rewards=[1.0, 0.0, 2.0, 0.5])
+        before = stats.matvec_count
+        expected_accumulated_reward(model, 1.3, stats=stats)
+        assert stats.matvec_count > before
+
 
 class TestExpectedRewards:
     def test_accumulated_reward_absorbing_closed_form(self):
