@@ -25,21 +25,27 @@ and :mod:`~repro.algorithms.parallel` fans genuinely independent
 queries -- distinct reduced models -- over GIL-releasing threads.
 """
 
-from repro.algorithms.base import JointEngine, get_engine, available_engines
+from repro.algorithms.base import (JointEngine, PartialSweep,
+                                   available_engines, get_engine,
+                                   richardson_bracket)
 from repro.algorithms.cache import (EngineStats, cache_info, clear_caches,
-                                    joint_cache, matrix_cache)
+                                    joint_cache, matrix_cache,
+                                    value_nbytes)
 from repro.algorithms.erlang import ErlangEngine, erlang_expanded_model
 from repro.algorithms.discretization import DiscretizationEngine
 from repro.algorithms.sericola import SericolaEngine
-from repro.algorithms.parallel import (parallel_joint_sweeps,
+from repro.algorithms.parallel import (deadline_map,
+                                       parallel_joint_sweeps,
                                        parallel_joint_vectors,
                                        threaded_map)
 
 __all__ = [
     "JointEngine", "get_engine", "available_engines",
+    "PartialSweep", "richardson_bracket",
     "EngineStats", "cache_info", "clear_caches",
-    "joint_cache", "matrix_cache",
+    "joint_cache", "matrix_cache", "value_nbytes",
     "ErlangEngine", "erlang_expanded_model",
     "DiscretizationEngine", "SericolaEngine",
-    "parallel_joint_sweeps", "parallel_joint_vectors", "threaded_map",
+    "deadline_map", "parallel_joint_sweeps", "parallel_joint_vectors",
+    "threaded_map",
 ]

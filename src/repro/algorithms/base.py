@@ -34,13 +34,73 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro.algorithms.cache import EngineStats, joint_cache
 from repro.ctmc.mrm import MarkovRewardModel
-from repro.errors import NumericalError
+from repro.errors import NumericalError, WorkerError
+
+
+def richardson_bracket(coarse: np.ndarray, fine: np.ndarray,
+                       padding: float = 1e-12,
+                       safety: float = 2.0
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """A certified interval from two resolutions of a convergent scheme.
+
+    For a scheme whose error shrinks by a factor ``rho`` per refinement
+    (O(d) discretisation with halved step, the pseudo-Erlang bracket
+    with doubled phases -- both have ``rho ~ 2``), the distance
+    ``|fine - coarse| = |err(coarse) - err(fine)| = (rho - 1) *
+    |err(fine)|`` measures the remaining error of *fine*: the interval
+    ``fine -+ safety * |fine - coarse|`` contains the exact value
+    whenever ``rho >= 1 + 1/safety``.  The default ``safety = 2``
+    tolerates convergence ratios down to 1.5, covering the fluctuation
+    around the asymptotic factor 2 observed in the paper's Tables 3
+    and 4.  The interval always contains both computed points
+    (*coarse* is at most ``|fine - coarse|`` from the centre), clipped
+    to ``[0, 1]``.
+    """
+    coarse = np.asarray(coarse, dtype=float)
+    fine = np.asarray(fine, dtype=float)
+    spread = safety * np.abs(fine - coarse) + padding
+    lower = np.clip(fine - spread, 0.0, 1.0)
+    upper = np.clip(fine + spread, 0.0, 1.0)
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class PartialSweep:
+    """Outcome of a deadline-bounded ``(t, r)`` grid evaluation.
+
+    Attributes
+    ----------
+    grid:
+        ``(len(times), len(rewards), |S|)`` array; cells that were not
+        evaluated hold ``NaN``.
+    completed:
+        Boolean ``(len(times), len(rewards))`` mask of evaluated cells.
+    unevaluated:
+        The ``(i, j)`` index pairs of cells that were *not* evaluated
+        (deadline hit before they ran, or their worker failed), in grid
+        order -- the explicit work-list a caller can resume from.
+    failures:
+        One :class:`~repro.errors.WorkerError` per cell whose worker
+        raised (task context attached); deadline-cancelled cells are
+        not failures, they simply appear in :attr:`unevaluated`.
+    """
+
+    grid: np.ndarray
+    completed: np.ndarray
+    unevaluated: Tuple[Tuple[int, int], ...]
+    failures: Tuple[WorkerError, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every grid cell was evaluated."""
+        return not self.unevaluated
 
 
 class JointEngine(ABC):
@@ -85,8 +145,231 @@ class JointEngine(ABC):
             dtype=float)
         frozen = vector.copy()
         frozen.flags.writeable = False
-        joint_cache.put(key, frozen)
+        self.stats.cache_evictions += joint_cache.put(key, frozen)
         return vector
+
+    def joint_probability_interval(self,
+                                   model: MarkovRewardModel,
+                                   t: float,
+                                   r: float,
+                                   target: Iterable[int]
+                                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """Certified ``(lower, upper)`` interval vectors, cached.
+
+        Returns two vectors with ``lower[s] <= Pr{Y_t <= r, X_t in
+        target | X_0 = s} <= upper[s]`` -- a *sound* enclosure of the
+        exact joint probability derived from the engine's own error
+        accounting (the a-priori Sericola truncation bound, the
+        ``d`` vs ``d/2`` discretisation bracket, the ``k`` vs ``2k``
+        pseudo-Erlang bracket; see the engines' docstrings).  The
+        engine's point value :meth:`joint_probability_vector` always
+        lies inside the interval.  Entries are cached alongside the
+        point vectors under interval-marked keys.
+        """
+        indicator = self._validate(model, t, r, target)
+        key = (model.fingerprint, self._cache_token(),
+               float(t), float(r), indicator.tobytes(), "interval")
+        cached = joint_cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached[0].copy(), cached[1].copy()
+        self.stats.cache_misses += 1
+        lower, upper = self._compute_joint_interval(
+            model, float(t), float(r), indicator)
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        frozen = (lower.copy(), upper.copy())
+        for half in frozen:
+            half.flags.writeable = False
+        self.stats.cache_evictions += joint_cache.put(key, frozen)
+        return lower, upper
+
+    def _compute_joint_interval(self,
+                                model: MarkovRewardModel,
+                                t: float,
+                                r: float,
+                                indicator: np.ndarray
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+        """Engine-specific certified enclosure (uncached).
+
+        Concrete engines override this with their error accounting;
+        the base class has no generally sound bound to offer.
+        """
+        raise NumericalError(
+            f"engine {self.name!r} does not support certified "
+            f"intervals")
+
+    def joint_probability_interval_sweep(
+            self,
+            model: MarkovRewardModel,
+            times: Sequence[float],
+            reward_bounds: Sequence[float],
+            target: Iterable[int]
+            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Certified interval grids over a whole ``(t, r)`` grid.
+
+        Returns ``(lower, upper)`` arrays of shape ``(len(times),
+        len(reward_bounds), |S|)``; every cell equals an independent
+        :meth:`joint_probability_interval` call, evaluated through the
+        engine's shared-prefix sweep machinery (two bracketing sweeps
+        for the discretisation and pseudo-Erlang engines, one plus the
+        a-priori bound for Sericola).  Caching is per grid point with
+        the interval-marked scalar keys, so sweep and scalar interval
+        queries feed each other.
+        """
+        times = [float(t) for t in times]
+        rewards = [float(r) for r in reward_bounds]
+        indicator = self._validate(model, 0.0, 0.0, target)
+        for t in times:
+            if t < 0.0:
+                raise NumericalError(
+                    f"time bound must be >= 0, got {t}")
+        for r in rewards:
+            if r < 0.0:
+                raise NumericalError(
+                    f"reward bound must be >= 0, got {r}")
+        token = self._cache_token()
+        mask = indicator.tobytes()
+        shape = (len(times), len(rewards), model.num_states)
+        lower = np.empty(shape)
+        upper = np.empty(shape)
+        self.stats.sweep_points += shape[0] * shape[1]
+        missing: List[Tuple[int, int]] = []
+        for i, t in enumerate(times):
+            for j, r in enumerate(rewards):
+                key = (model.fingerprint, token, t, r, mask, "interval")
+                cached = joint_cache.get(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    lower[i, j], upper[i, j] = cached
+                else:
+                    self.stats.cache_misses += 1
+                    missing.append((i, j))
+        if not missing:
+            return lower, upper
+        need_times = sorted({times[i] for i, _ in missing})
+        need_rewards = sorted({rewards[j] for _, j in missing})
+        t_index = {t: i for i, t in enumerate(need_times)}
+        r_index = {r: j for j, r in enumerate(need_rewards)}
+        sub_lower, sub_upper = self._compute_joint_interval_sweep(
+            model, need_times, need_rewards, indicator)
+        stored = set()
+        for i, j in missing:
+            si, sj = t_index[times[i]], r_index[rewards[j]]
+            lower[i, j] = sub_lower[si, sj]
+            upper[i, j] = sub_upper[si, sj]
+            point = (times[i], rewards[j])
+            if point in stored:
+                continue
+            stored.add(point)
+            frozen = (sub_lower[si, sj].copy(), sub_upper[si, sj].copy())
+            for half in frozen:
+                half.flags.writeable = False
+            self.stats.cache_evictions += joint_cache.put(
+                (model.fingerprint, token, times[i], rewards[j], mask,
+                 "interval"), frozen)
+        return lower, upper
+
+    def _compute_joint_interval_sweep(self,
+                                      model: MarkovRewardModel,
+                                      times: Sequence[float],
+                                      rewards: Sequence[float],
+                                      indicator: np.ndarray
+                                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Engine-native certified grid computation (uncached).
+
+        The base implementation loops :meth:`_compute_joint_interval`
+        per grid point; the concrete engines override it with
+        bracketing shared-prefix sweeps.
+        """
+        shape = (len(times), len(rewards), model.num_states)
+        lower = np.empty(shape)
+        upper = np.empty(shape)
+        for i, t in enumerate(times):
+            for j, r in enumerate(rewards):
+                lower[i, j], upper[i, j] = self._compute_joint_interval(
+                    model, t, r, indicator)
+        return lower, upper
+
+    def refined(self) -> "Optional[JointEngine]":
+        """A copy of this engine with a tightened accuracy knob.
+
+        One refinement step of the certified checker's adaptive loop:
+        Sericola tightens ``epsilon``, the discretisation halves ``d``,
+        the pseudo-Erlang engine doubles ``k``.  Returns ``None`` when
+        the engine cannot (usefully) refine further -- the checker then
+        degrades to the next engine in its fallback chain.
+        """
+        return None
+
+    def joint_probability_sweep_partial(
+            self,
+            model: MarkovRewardModel,
+            times: Sequence[float],
+            reward_bounds: Sequence[float],
+            target: Iterable[int],
+            deadline: Optional[float] = None,
+            max_workers: Optional[int] = None) -> PartialSweep:
+        """A ``(t, r)`` grid evaluation that survives a mid-grid
+        deadline.
+
+        Unlike :meth:`joint_probability_sweep` -- whose engine-native
+        shared-prefix runs are all-or-nothing -- this path evaluates
+        the grid cell by cell through the cached scalar
+        :meth:`joint_probability_vector`, fanned out over threads and
+        bounded by *deadline* (an absolute ``time.monotonic()``
+        timestamp).  When the deadline passes, cells that have not
+        started are cancelled, running cells drain, and the completed
+        cells are returned together with the explicit list of
+        unevaluated ones (see :class:`PartialSweep`).  Every completed
+        cell went through the shared result cache, so the cache stays
+        consistent and a later retry of the unevaluated cells reuses
+        all finished work.
+        """
+        from repro.algorithms.parallel import deadline_map
+        times = [float(t) for t in times]
+        rewards = [float(r) for r in reward_bounds]
+        indicator = self._validate(model, 0.0, 0.0, target)
+        for t in times:
+            if t < 0.0:
+                raise NumericalError(
+                    f"time bound must be >= 0, got {t}")
+        for r in rewards:
+            if r < 0.0:
+                raise NumericalError(
+                    f"reward bound must be >= 0, got {r}")
+        target_list = [int(s) for s in np.flatnonzero(indicator)]
+        cells = [(i, j) for i in range(len(times))
+                 for j in range(len(rewards))]
+        grid = np.full((len(times), len(rewards), model.num_states),
+                       np.nan)
+        completed_mask = np.zeros((len(times), len(rewards)),
+                                  dtype=bool)
+        self.stats.sweep_points += len(cells)
+        clones = [self._worker_clone() for _ in cells]
+
+        def run(task):
+            clone, (i, j) = task
+            return clone.joint_probability_vector(
+                model, times[i], rewards[j], target_list)
+
+        labels = [f"cell (t={times[i]}, r={rewards[j]})"
+                  for i, j in cells]
+        results, completed, failures = deadline_map(
+            run, list(zip(clones, cells)), deadline=deadline,
+            max_workers=max_workers, labels=labels)
+        for clone in clones:
+            self.stats.merge(clone.stats)
+        unevaluated = []
+        for position, (i, j) in enumerate(cells):
+            if completed[position]:
+                grid[i, j] = results[position]
+                completed_mask[i, j] = True
+            else:
+                unevaluated.append((i, j))
+        return PartialSweep(grid=grid, completed=completed_mask,
+                            unevaluated=tuple(unevaluated),
+                            failures=tuple(failures))
 
     @abstractmethod
     def _compute_joint_vector(self,
@@ -169,7 +452,7 @@ class JointEngine(ABC):
             stored.add(point)
             frozen = vector.copy()
             frozen.flags.writeable = False
-            joint_cache.put(
+            self.stats.cache_evictions += joint_cache.put(
                 (model.fingerprint, token, times[i], rewards[j], mask),
                 frozen)
         return grid

@@ -31,10 +31,14 @@ the numerics layer can update them without importing the engines.
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional
+
+import numpy as np
+import scipy.sparse as sp
 
 
 @dataclass
@@ -58,6 +62,11 @@ class EngineStats:
 joint_probability_sweep` (each point is also accounted as a cache hit
         or miss, so ``sweep_points == sweep hits + sweep misses`` for a
         sweep-only workload).
+    cache_evictions:
+        Entries this engine's cache insertions pushed out of
+        :data:`joint_cache` (count or byte-size cap reached).  A
+        steadily growing value on a sweep workload means the grid no
+        longer fits the cache and repeated cells will recompute.
     """
 
     cache_hits: int = 0
@@ -65,6 +74,7 @@ joint_probability_sweep` (each point is also accounted as a cache hit
     propagation_steps: int = 0
     matvec_count: int = 0
     sweep_points: int = 0
+    cache_evictions: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -73,6 +83,7 @@ joint_probability_sweep` (each point is also accounted as a cache hit
         self.propagation_steps = 0
         self.matvec_count = 0
         self.sweep_points = 0
+        self.cache_evictions = 0
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats object's counters onto this one.
@@ -87,6 +98,7 @@ joint_probability_sweep` (each point is also accounted as a cache hit
         self.propagation_steps += other.propagation_steps
         self.matvec_count += other.matvec_count
         self.sweep_points += other.sweep_points
+        self.cache_evictions += other.cache_evictions
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (JSON-friendly)."""
@@ -94,11 +106,42 @@ joint_probability_sweep` (each point is also accounted as a cache hit
                 "cache_misses": self.cache_misses,
                 "propagation_steps": self.propagation_steps,
                 "matvec_count": self.matvec_count,
-                "sweep_points": self.sweep_points}
+                "sweep_points": self.sweep_points,
+                "cache_evictions": self.cache_evictions}
+
+
+def value_nbytes(value: Any) -> int:
+    """Approximate in-memory footprint of a cached value, in bytes.
+
+    Understands the shapes the caches actually store: numpy arrays,
+    scipy sparse matrices, and tuples/lists/dicts thereof.  Anything
+    else falls back to ``sys.getsizeof``.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if sp.issparse(value):
+        total = int(value.data.nbytes)
+        for attr in ("indices", "indptr", "row", "col", "offsets"):
+            part = getattr(value, attr, None)
+            if part is not None:
+                total += int(part.nbytes)
+        return total
+    if isinstance(value, (tuple, list)):
+        return sum(value_nbytes(item) for item in value)
+    if isinstance(value, dict):
+        return sum(value_nbytes(item) for item in value.values())
+    return int(sys.getsizeof(value))
 
 
 class LRUCache:
     """A small, generic, thread-safe least-recently-used mapping.
+
+    Entries are bounded both by count (*maxsize*) and, optionally, by
+    total byte footprint (*max_bytes*, measured with
+    :func:`value_nbytes`): inserting beyond either cap evicts in
+    least-recently-used order.  The most recent entry is never evicted
+    by the byte cap -- a single oversized value is admitted (and
+    counted) rather than thrashing.
 
     All operations hold an internal lock: the threaded fan-out of
     :mod:`repro.algorithms.parallel` lets several workers consult and
@@ -107,20 +150,28 @@ class LRUCache:
 
     >>> cache = LRUCache(maxsize=2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    (0, 1, 1)
     >>> cache.get("a") is None   # evicted
     True
     >>> cache.get("c")
     3
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256,
+                 max_bytes: Optional[int] = None):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.maxsize = int(maxsize)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._sizes: Dict[Hashable, int] = {}
+        self._bytes = 0
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed as most recent; None on a miss."""
@@ -134,35 +185,67 @@ class LRUCache:
             self.hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting the oldest if full."""
+    def put(self, key: Hashable, value: Any) -> int:
+        """Insert (or refresh) an entry, evicting the oldest if either
+        the count or the byte cap is exceeded; returns the number of
+        entries evicted by this insertion."""
+        size = value_nbytes(value)
         with self._lock:
+            if key in self._data:
+                self._bytes -= self._sizes.get(key, 0)
             self._data[key] = value
+            self._sizes[key] = size
+            self._bytes += size
             self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+            evicted = 0
+            while len(self._data) > 1 and (
+                    len(self._data) > self.maxsize
+                    or (self.max_bytes is not None
+                        and self._bytes > self.max_bytes)):
+                old_key, _ = self._data.popitem(last=False)
+                self._bytes -= self._sizes.pop(old_key, 0)
+                evicted += 1
+            self.evictions += evicted
+            return evicted
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset the hit/miss/eviction counters."""
         with self._lock:
             self._data.clear()
+            self._sizes.clear()
+            self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
 
+    @property
+    def nbytes(self) -> int:
+        """Total byte footprint of the currently cached values."""
+        with self._lock:
+            return self._bytes
+
     def info(self) -> Dict[str, int]:
-        """Current size and lifetime hit/miss counts."""
+        """Current size, byte footprint and lifetime hit/miss counts."""
         with self._lock:
             return {"size": len(self._data), "maxsize": self.maxsize,
-                    "hits": self.hits, "misses": self.misses}
+                    "hits": self.hits, "misses": self.misses,
+                    "bytes": self._bytes,
+                    "max_bytes": (-1 if self.max_bytes is None
+                                  else self.max_bytes),
+                    "evictions": self.evictions}
 
 
-#: Joint-probability vectors, keyed on
-#: ``(model fingerprint, engine token, t, r, target-mask bytes)``.
-joint_cache = LRUCache(maxsize=512)
+#: Joint-probability vectors (and certified interval pairs, whose keys
+#: carry an extra ``"interval"`` marker), keyed on
+#: ``(model fingerprint, engine token, t, r, target-mask bytes[, kind])``.
+#: Bounded both in entry count and total bytes: sweeps over large grids
+#: stay within a fixed memory budget, with LRU eviction reported via
+#: ``EngineStats.cache_evictions``.
+joint_cache = LRUCache(maxsize=4096, max_bytes=128 * 2 ** 20)
 
 #: Transformed sparse matrices (reward-step groups, expanded chains),
 #: keyed on ``(kind, model fingerprint, parameters...)``.

@@ -23,6 +23,15 @@ EngineStats`; the clones share the accuracy parameters (hence the
   result cache entries, the caches are lock-protected) but never race
   on counters.  After the join, the clones' counters are merged into
   ``engine.stats``.
+* **Failure isolation** -- a raising worker does not poison the pool:
+  its exception is wrapped in a :class:`~repro.errors.WorkerError`
+  carrying the task index and label, not-yet-started tasks are
+  cancelled, and one :class:`~repro.errors.ParallelExecutionError`
+  with *every* failure attached is raised after the pool has drained
+  (no thread is left running).
+* **Deadlines** -- :func:`deadline_map` runs a fan-out against a
+  wall-clock deadline and returns whatever completed, plus an explicit
+  record of the tasks that did not, instead of raising.
 * **`max_workers` knob** -- ``None`` picks ``min(cpu_count, 8,
   len(tasks))``; ``1`` (or a single task) degrades to a plain
   sequential loop with zero threading overhead.
@@ -31,10 +40,15 @@ EngineStats`; the clones share the accuracy parameters (hence the
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+import time
+from concurrent.futures import (FIRST_EXCEPTION, ThreadPoolExecutor,
+                                wait)
+from typing import (Callable, Iterable, List, Optional, Sequence,
+                    Tuple, TypeVar)
 
 import numpy as np
+
+from repro.errors import ParallelExecutionError, WorkerError
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -59,21 +73,132 @@ def resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
     return max(1, min(int(max_workers), num_tasks))
 
 
+def _label_of(labels: Optional[Sequence[str]], index: int
+              ) -> Optional[str]:
+    if labels is None:
+        return None
+    try:
+        return labels[index]
+    except IndexError:
+        return None
+
+
 def threaded_map(function: Callable[[_T], _R],
                  items: Sequence[_T],
-                 max_workers: Optional[int] = None) -> List[_R]:
+                 max_workers: Optional[int] = None,
+                 labels: Optional[Sequence[str]] = None) -> List[_R]:
     """``[function(x) for x in items]`` on a thread pool, order kept.
 
     Falls back to a sequential loop when only one worker (or one item)
-    is effective.  Exceptions propagate to the caller exactly as in
-    the sequential case.
+    is effective.  A raising task aborts the fan-out *cleanly*: tasks
+    that have not started yet are cancelled, already-running tasks
+    drain, and a single :class:`~repro.errors.ParallelExecutionError`
+    is raised whose ``failures`` list holds one
+    :class:`~repro.errors.WorkerError` (task index, optional *labels*
+    entry, original exception) per failing task.  The sequential path
+    raises the same wrapper so callers handle one exception shape.
     """
     items = list(items)
     workers = resolve_workers(max_workers, len(items))
     if workers <= 1:
-        return [function(item) for item in items]
+        results: List[_R] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(function(item))
+            except Exception as exc:
+                failure = WorkerError(index, exc,
+                                      _label_of(labels, index))
+                error = ParallelExecutionError([failure], len(items))
+                raise error from exc
+        return results
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(function, items))
+        futures = [pool.submit(function, item) for item in items]
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        if any(f.exception() is not None for f in done):
+            # Cancel everything that has not started; running tasks
+            # drain when the pool context exits.
+            for future in pending:
+                future.cancel()
+    failures = [WorkerError(index, future.exception(),
+                            _label_of(labels, index))
+                for index, future in enumerate(futures)
+                if not future.cancelled()
+                and future.exception() is not None]
+    if failures:
+        error = ParallelExecutionError(failures, len(items))
+        raise error from failures[0].cause
+    return [future.result() for future in futures]
+
+
+def deadline_map(function: Callable[[_T], _R],
+                 items: Sequence[_T],
+                 deadline: Optional[float] = None,
+                 max_workers: Optional[int] = None,
+                 labels: Optional[Sequence[str]] = None
+                 ) -> Tuple[List[Optional[_R]], List[bool],
+                            List[WorkerError]]:
+    """Fan out *items* against a wall-clock *deadline*, keeping
+    whatever completes.
+
+    *deadline* is an absolute ``time.monotonic()`` timestamp (``None``
+    = no deadline).  Returns ``(results, completed, failures)``:
+    ``results[i]`` is the task's value (``None`` when it did not
+    complete), ``completed[i]`` says whether it did, and *failures*
+    collects a :class:`~repro.errors.WorkerError` per raising task in
+    task order -- nothing is raised, so partial progress survives.
+
+    When the deadline passes, tasks that have not started are
+    cancelled and the pool drains its running tasks before this
+    function returns (no thread is left running); tasks that finish
+    while draining still count as completed.
+    """
+    items = list(items)
+    n = len(items)
+    results: List[Optional[_R]] = [None] * n
+    completed = [False] * n
+    failures: List[WorkerError] = []
+
+    def record(index: int, future) -> None:
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            failures.append(
+                WorkerError(index, exc, _label_of(labels, index)))
+        else:
+            results[index] = future.result()
+            completed[index] = True
+
+    workers = resolve_workers(max_workers, n)
+    if workers <= 1:
+        for index, item in enumerate(items):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            try:
+                results[index] = function(item)
+                completed[index] = True
+            except Exception as exc:
+                failures.append(
+                    WorkerError(index, exc, _label_of(labels, index)))
+        return results, completed, failures
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(function, item) for item in items]
+        pending = set(futures)
+        while pending:
+            timeout = (None if deadline is None
+                       else max(0.0, deadline - time.monotonic()))
+            done, pending = wait(pending, timeout=timeout)
+            if pending and deadline is not None \
+                    and time.monotonic() >= deadline:
+                for future in pending:
+                    future.cancel()
+                break
+        # The context exit joins the running stragglers.
+    for index, future in enumerate(futures):
+        record(index, future)
+    failures.sort(key=lambda failure: failure.index)
+    return results, completed, failures
 
 
 def parallel_joint_vectors(engine,
@@ -85,7 +210,8 @@ def parallel_joint_vectors(engine,
     *queries* is a sequence of ``(model, t, r, target)`` tuples --
     typically distinct reduced models, or grid points no sweep can
     share.  Results return in query order; every worker clone's
-    counters are merged into ``engine.stats`` afterwards.
+    counters are merged into ``engine.stats`` afterwards (also when a
+    task fails -- completed workers' counters are never lost).
     """
     queries = list(queries)
     clones = [engine._worker_clone() for _ in queries]
@@ -94,10 +220,14 @@ def parallel_joint_vectors(engine,
         clone, (model, t, r, target) = task
         return clone.joint_probability_vector(model, t, r, target)
 
-    results = threaded_map(run, list(zip(clones, queries)), max_workers)
-    for clone in clones:
-        engine.stats.merge(clone.stats)
-    return results
+    labels = [f"query {i}: t={q[1]}, r={q[2]}"
+              for i, q in enumerate(queries)]
+    try:
+        return threaded_map(run, list(zip(clones, queries)),
+                            max_workers, labels=labels)
+    finally:
+        for clone in clones:
+            engine.stats.merge(clone.stats)
 
 
 def parallel_joint_sweeps(engine,
@@ -120,7 +250,10 @@ def parallel_joint_sweeps(engine,
         return clone.joint_probability_sweep(model, times, rewards,
                                              target)
 
-    results = threaded_map(run, list(zip(clones, queries)), max_workers)
-    for clone in clones:
-        engine.stats.merge(clone.stats)
-    return results
+    labels = [f"sweep {i}" for i in range(len(queries))]
+    try:
+        return threaded_map(run, list(zip(clones, queries)),
+                            max_workers, labels=labels)
+    finally:
+        for clone in clones:
+            engine.stats.merge(clone.stats)

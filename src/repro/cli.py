@@ -61,6 +61,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="0-based initial state index")
     check.add_argument("--epsilon", type=float, default=1e-9,
                        help="numerical accuracy")
+    check.add_argument("--certify", action="store_true",
+                       help="certified mode: sound probability "
+                            "intervals, three-valued verdict "
+                            "(TRUE/FALSE/UNKNOWN) and engine fallback")
+    check.add_argument("--budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per certified query")
+    check.add_argument("--max-rounds", type=int, default=None,
+                       help="refinement-round budget per certified "
+                            "query (initial runs count too)")
+    check.add_argument("--target-width", type=float, default=None,
+                       help="keep refining until the certified "
+                            "interval is at most this wide")
+    check.add_argument("--fallback", default=None,
+                       help="comma-separated engine fallback chain "
+                            "for --certify (default: sericola,"
+                            "erlang,discretization)")
     check.set_defaults(handler=_cmd_check)
 
     case = sub.add_parser(
@@ -98,6 +115,8 @@ def _cmd_check(args) -> int:
     engine = get_engine(args.engine) if args.engine != "sericola" \
         else SericolaEngine(epsilon=args.epsilon)
     checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+    if args.certify:
+        return _certified_check(checker, model, args)
     result = checker.check(args.formula)
     print(result)
     if result.probabilities is not None:
@@ -107,6 +126,38 @@ def _cmd_check(args) -> int:
                   f"{result.probabilities[s]:.8f}")
     print(f"holds initially: {result.holds_initially}")
     return 0 if result.holds_initially else 1
+
+
+def _certified_check(checker: ModelChecker, model, args) -> int:
+    """``repro check --certify``: three-valued verdict, exit code
+    0 = TRUE, 1 = FALSE, 2 = UNKNOWN."""
+    from repro.mc.budget import Budget
+    from repro.mc.certified import DEFAULT_CHAIN
+    from repro.mc.result import Verdict
+
+    chain = DEFAULT_CHAIN if args.fallback is None else tuple(
+        name.strip() for name in args.fallback.split(",") if name.strip())
+    budget = None
+    if args.budget is not None or args.max_rounds is not None:
+        budget = Budget(seconds=args.budget, max_rounds=args.max_rounds)
+    result = checker.check_certified(args.formula, chain=chain,
+                                     budget=budget,
+                                     target_width=args.target_width)
+    print(f"{result.formula}")
+    print(f"verdict: {result.verdict}")
+    for s in range(model.num_states):
+        print(f"  {model.name_of(s):30s} "
+              f"[{result.lower[s]:.8f}, {result.upper[s]:.8f}]  "
+              f"{result.state_verdicts[s]}")
+    engine = result.engine or "none"
+    print(f"engine: {engine}  rounds: {result.rounds_used}  "
+          f"interval width: {result.width:.3e}")
+    if result.failures:
+        print("degradation record:")
+        for failure in result.failures:
+            print(f"  - {failure}")
+    return {Verdict.TRUE: 0, Verdict.FALSE: 1,
+            Verdict.UNKNOWN: 2}[result.verdict]
 
 
 def _cmd_case_study(args) -> int:

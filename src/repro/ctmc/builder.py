@@ -18,6 +18,7 @@ immutable :class:`~repro.ctmc.mrm.MarkovRewardModel`:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -67,6 +68,9 @@ class ModelBuilder:
             name = f"s{index}"
         if name in self._index:
             raise ModelError(f"duplicate state name {name!r}")
+        if not math.isfinite(reward):
+            raise ModelError(
+                f"state {name!r} has non-finite reward {reward}")
         if reward < 0.0:
             raise ModelError(f"state {name!r} has negative reward {reward}")
         self._names.append(name)
@@ -97,8 +101,16 @@ class ModelBuilder:
         must agree on their impulse (a merged CTMC transition can only
         carry one).
         """
+        if not math.isfinite(rate):
+            raise ModelError(
+                f"non-finite rate {rate} on the transition "
+                f"{source!r} -> {target!r}")
         if rate < 0.0:
             raise ModelError(f"negative transition rate {rate}")
+        if not math.isfinite(impulse):
+            raise ModelError(
+                f"non-finite impulse reward {impulse} on the "
+                f"transition {source!r} -> {target!r}")
         if impulse < 0.0:
             raise ModelError(f"negative impulse reward {impulse}")
         if rate == 0.0:
@@ -119,6 +131,9 @@ class ModelBuilder:
 
     def set_reward(self, state: StateRef, reward: float) -> None:
         """Overwrite the reward rate of an existing state."""
+        if not math.isfinite(reward):
+            raise ModelError(
+                f"non-finite reward {reward} for state {state!r}")
         if reward < 0.0:
             raise ModelError(f"negative reward {reward}")
         self._rewards[self.resolve(state)] = float(reward)

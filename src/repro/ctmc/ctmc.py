@@ -35,10 +35,33 @@ def _as_csr(rates: MatrixLike) -> sp.csr_matrix:
         raise ModelError(
             f"rate matrix must be square, got shape {matrix.shape}")
     matrix.eliminate_zeros()
-    if matrix.nnz and matrix.data.min() < 0.0:
-        raise ModelError("rate matrix entries must be non-negative")
-    if matrix.nnz and not np.all(np.isfinite(matrix.data)):
-        raise ModelError("rate matrix entries must be finite")
+    if matrix.nnz:
+        data = matrix.data
+        if not np.all(np.isfinite(data)):
+            coo = matrix.tocoo()
+            bad = ~np.isfinite(coo.data)
+            first = int(np.flatnonzero(bad)[0])
+            kind = "NaN" if np.isnan(coo.data[first]) else "infinite"
+            count = int(bad.sum())
+            extra = (f" ({count} non-finite entries in total)"
+                     if count > 1 else "")
+            raise ModelError(
+                f"rate matrix entries must be finite: entry "
+                f"({coo.row[first]}, {coo.col[first]}) is {kind}{extra}")
+        if data.min() < 0.0:
+            coo = matrix.tocoo()
+            negative = coo.data < 0.0
+            if np.all(coo.row[negative] == coo.col[negative]):
+                raise ModelError(
+                    "rate matrix entries must be non-negative; the "
+                    "negative entries all sit on the diagonal, which "
+                    "suggests a generator matrix Q was passed -- pass "
+                    "the rate matrix R (Q = R - diag(E)) instead")
+            first = int(np.flatnonzero(negative)[0])
+            raise ModelError(
+                f"rate matrix entries must be non-negative: entry "
+                f"({coo.row[first]}, {coo.col[first]}) is "
+                f"{coo.data[first]}")
     return matrix
 
 
@@ -90,6 +113,10 @@ class CTMC:
                 raise ModelError(
                     f"initial distribution has shape {alpha.shape}, "
                     f"expected ({n},)")
+            if not np.all(np.isfinite(alpha)):
+                raise ModelError(
+                    "initial distribution must be finite "
+                    "(it contains NaN or infinite entries)")
             if np.any(alpha < 0.0):
                 raise ModelError("initial distribution must be non-negative")
             total = alpha.sum()

@@ -59,10 +59,17 @@ class MarkovRewardModel(CTMC):
             if rho.shape != (n,):
                 raise ModelError(
                     f"reward vector has shape {rho.shape}, expected ({n},)")
-            if np.any(rho < 0.0):
-                raise RewardError("reward rates must be non-negative")
             if not np.all(np.isfinite(rho)):
-                raise RewardError("reward rates must be finite")
+                first = int(np.flatnonzero(~np.isfinite(rho))[0])
+                kind = "NaN" if np.isnan(rho[first]) else "infinite"
+                raise RewardError(
+                    f"reward rates must be finite: the reward of state "
+                    f"{first} is {kind}")
+            if np.any(rho < 0.0):
+                first = int(np.flatnonzero(rho < 0.0)[0])
+                raise RewardError(
+                    f"reward rates must be non-negative: the reward of "
+                    f"state {first} is {rho[first]}")
         self._rewards = rho
         self._impulses = self._normalize_impulses(impulse_rewards)
 
@@ -92,10 +99,22 @@ class MarkovRewardModel(CTMC):
         matrix.eliminate_zeros()
         if matrix.nnz == 0:
             return None
-        if matrix.data.min() < 0.0:
-            raise RewardError("impulse rewards must be non-negative")
         if not np.all(np.isfinite(matrix.data)):
-            raise RewardError("impulse rewards must be finite")
+            coo = matrix.tocoo()
+            bad = ~np.isfinite(coo.data)
+            first = int(np.flatnonzero(bad)[0])
+            kind = "NaN" if np.isnan(coo.data[first]) else "infinite"
+            raise RewardError(
+                f"impulse rewards must be finite: the impulse on "
+                f"transition ({coo.row[first]}, {coo.col[first]}) "
+                f"is {kind}")
+        if matrix.data.min() < 0.0:
+            coo = matrix.tocoo()
+            first = int(np.flatnonzero(coo.data < 0.0)[0])
+            raise RewardError(
+                f"impulse rewards must be non-negative: the impulse on "
+                f"transition ({coo.row[first]}, {coo.col[first]}) is "
+                f"{coo.data[first]}")
         # Impulses only make sense on existing transitions.
         structure = self.rate_matrix.copy()
         structure.data = np.ones_like(structure.data)

@@ -60,3 +60,53 @@ class ConvergenceError(NumericalError):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+
+
+class WorkerError(NumericalError):
+    """One task of a threaded fan-out failed.
+
+    Wraps the original exception together with the task's position in
+    the fan-out, so a failing grid cell or reward column can be
+    identified from the error alone.
+
+    Attributes
+    ----------
+    index:
+        0-based position of the task in the submitted sequence.
+    label:
+        Human-readable task description (e.g. ``"r=600.0"``), or
+        ``None`` when the caller provided no labels.
+    cause:
+        The exception the worker raised.
+    """
+
+    def __init__(self, index: int, cause: BaseException,
+                 label: "str | None" = None):
+        where = f"task {index}" + (f" ({label})" if label else "")
+        super().__init__(
+            f"{where} failed: {type(cause).__name__}: {cause}")
+        self.index = int(index)
+        self.label = label
+        self.cause = cause
+
+
+class ParallelExecutionError(NumericalError):
+    """One or more tasks of a threaded fan-out failed.
+
+    Raised once per fan-out after not-yet-started tasks have been
+    cancelled; :attr:`failures` carries one :class:`WorkerError` per
+    failing task (in task order), so callers see *every* failure, not
+    just the first.
+    """
+
+    def __init__(self, failures: "list[WorkerError]", total: int):
+        details = "; ".join(str(f) for f in failures)
+        super().__init__(
+            f"{len(failures)} of {total} parallel tasks failed: "
+            f"{details}")
+        self.failures = list(failures)
+        self.total = int(total)
+
+
+class BudgetExhaustedError(NumericalError):
+    """A per-query budget (deadline or refinement rounds) ran out."""

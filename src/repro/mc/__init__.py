@@ -20,10 +20,15 @@ performability distribution, expected rewards) on top of the same
 machinery.
 """
 
+from repro.mc.budget import Budget
 from repro.mc.checker import ModelChecker
-from repro.mc.result import CheckResult
+from repro.mc.certified import (DEFAULT_CHAIN, CertifiedChecker,
+                                CertifiedCheckResult, EngineFailure)
+from repro.mc.result import CheckResult, Verdict, interval_verdict
 from repro.mc.transform import until_reduction, dual_model
 from repro.mc import measures
 
 __all__ = ["ModelChecker", "CheckResult", "until_reduction", "dual_model",
-           "measures"]
+           "measures",
+           "Budget", "CertifiedChecker", "CertifiedCheckResult",
+           "DEFAULT_CHAIN", "EngineFailure", "Verdict", "interval_verdict"]

@@ -212,6 +212,55 @@ parallel_joint_sweeps`: each worker evaluates one reduced model's grid
                                       max_workers=max_workers)
         return [np.clip(grid, 0.0, 1.0) for grid in grids]
 
+    def check_certified(self,
+                        formula: FormulaLike,
+                        chain=None,
+                        budget=None,
+                        target_width: Optional[float] = None):
+        """Certified three-valued check of a ``P<|p [ until ]`` formula.
+
+        Convenience front end to :class:`~repro.mc.certified.\
+CertifiedChecker` sharing this checker's formula cache: *chain* is the
+        engine fallback chain (default
+        :data:`~repro.mc.certified.DEFAULT_CHAIN`), *budget* a
+        :class:`~repro.mc.budget.Budget` limiting wall clock and
+        refinement rounds.  Returns a :class:`~repro.mc.certified.\
+CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
+        """
+        from repro.mc.certified import DEFAULT_CHAIN, CertifiedChecker
+        certified = CertifiedChecker(
+            self, chain=DEFAULT_CHAIN if chain is None else chain,
+            budget=budget, target_width=target_width)
+        return certified.check(formula)
+
+    def until_probability_sweep_partial(self,
+                                        left: FormulaLike,
+                                        right: FormulaLike,
+                                        times,
+                                        rewards,
+                                        deadline: Optional[float] = None,
+                                        max_workers: Optional[int] = None):
+        """Deadline-bounded variant of :meth:`until_probability_sweep`.
+
+        Evaluates the ``(t, r)`` grid cell by cell under an absolute
+        ``time.monotonic()`` *deadline* and returns a
+        :class:`~repro.algorithms.base.PartialSweep` instead of
+        raising when time runs out: every cell finished before the
+        deadline is kept, the rest are listed in ``unevaluated`` (and
+        hold NaN in the grid), and per-cell worker failures are
+        isolated into ``failures`` rather than poisoning the finished
+        cells.  Completed cells land in the shared joint-vector cache,
+        so a retry of the same grid resumes where this call stopped.
+        """
+        from dataclasses import replace
+        phi = set(self.satisfaction_set(left))
+        psi = set(self.satisfaction_set(right))
+        reduced = until_reduction(self.model, phi, psi)
+        partial = self.engine.joint_probability_sweep_partial(
+            reduced, times, rewards, psi, deadline=deadline,
+            max_workers=max_workers)
+        return replace(partial, grid=np.clip(partial.grid, 0.0, 1.0))
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

@@ -2,13 +2,67 @@
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 import numpy as np
 
 from repro.ctmc.ctmc import CTMC
-from repro.logic.ast import StateFormula
+from repro.logic.ast import StateFormula, compare
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of a certified threshold comparison.
+
+    ``TRUE``/``FALSE`` are *sound*: every probability inside the
+    certified interval is on the same side of the threshold.
+    ``UNKNOWN`` means the interval straddles the threshold (or the
+    budget ran out before it could be tightened past it) -- the honest
+    answer, never a silent guess.
+    """
+
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    UNKNOWN = "UNKNOWN"
+
+    def __bool__(self) -> bool:
+        """Truthiness is *conservative*: only ``TRUE`` is truthy."""
+        return self is Verdict.TRUE
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def interval_verdict(lower: float, upper: float, comparison: str,
+                     bound: float) -> Verdict:
+    """Sound three-valued comparison of ``[lower, upper]`` against a
+    ``P <|<=|>|>= bound`` threshold.
+
+    Returns ``TRUE`` when every value in the interval satisfies the
+    comparison, ``FALSE`` when none does, ``UNKNOWN`` otherwise.
+
+    >>> interval_verdict(0.4, 0.45, "<", 0.5)
+    <Verdict.TRUE: 'TRUE'>
+    >>> interval_verdict(0.4, 0.6, "<", 0.5)
+    <Verdict.UNKNOWN: 'UNKNOWN'>
+    >>> interval_verdict(0.6, 0.7, ">=", 0.5)
+    <Verdict.TRUE: 'TRUE'>
+    """
+    lower, upper = float(lower), float(upper)
+    if comparison in ("<", "<="):
+        if compare(upper, comparison, bound):
+            return Verdict.TRUE
+        if not compare(lower, comparison, bound):
+            return Verdict.FALSE
+    elif comparison in (">", ">="):
+        if compare(lower, comparison, bound):
+            return Verdict.TRUE
+        if not compare(upper, comparison, bound):
+            return Verdict.FALSE
+    else:
+        raise ValueError(f"unknown comparison {comparison!r}")
+    return Verdict.UNKNOWN
 
 
 @dataclass(frozen=True)

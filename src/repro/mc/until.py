@@ -159,6 +159,36 @@ def time_reward_bounded_until(model: MarkovRewardModel,
     return np.clip(vector, 0.0, 1.0)
 
 
+def time_reward_bounded_until_interval(model: MarkovRewardModel,
+                                       phi: Set[int],
+                                       psi: Set[int],
+                                       time: Interval,
+                                       reward: Interval,
+                                       engine: JointEngine
+                                       ) -> "tuple[np.ndarray, np.ndarray]":
+    """Certified per-state bounds on ``Phi U_I^J Psi`` (class P3).
+
+    The Theorem 1 reduction is exact, so a sound enclosure of the
+    joint probability on the reduced model (the engine's
+    :meth:`~repro.algorithms.base.JointEngine.\
+joint_probability_interval`) is a sound enclosure of the until
+    probability; returns ``(lower, upper)`` vectors with
+    ``lower[s] <= Pr{s |= Phi U_I^J Psi} <= upper[s]``.
+    """
+    if time.lower != 0.0 or reward.lower != 0.0:
+        raise UnsupportedFormulaError(
+            f"intervals {time}/{reward} do not start at 0; no "
+            f"computational procedure is available (see Section 6)")
+    if math.isinf(time.upper) or math.isinf(reward.upper):
+        raise UnsupportedFormulaError(
+            "certified intervals need finite time and reward bounds; "
+            "check unbounded formulas with the exact P0-P2 procedures")
+    reduced = until_reduction(model, phi, psi)
+    lower, upper = engine.joint_probability_interval(
+        reduced, time.upper, reward.upper, psi)
+    return np.clip(lower, 0.0, 1.0), np.clip(upper, 0.0, 1.0)
+
+
 def time_reward_bounded_until_sweep(model: MarkovRewardModel,
                                     phi: Set[int],
                                     psi: Set[int],

@@ -17,6 +17,7 @@ supports:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -69,6 +70,10 @@ class Transition:
         """The impulse reward earned by firing in *marking*."""
         value = (self.impulse(marking) if callable(self.impulse)
                  else self.impulse)
+        if not math.isfinite(value):
+            raise ModelError(
+                f"transition {self.name!r} has non-finite impulse "
+                f"{value} in {marking!r}")
         if value < 0.0:
             raise ModelError(
                 f"transition {self.name!r} has negative impulse "
@@ -81,6 +86,10 @@ class Transition:
             raise ModelError(
                 f"immediate transition {self.name!r} has no rate")
         value = self.rate(marking) if callable(self.rate) else self.rate
+        if not math.isfinite(value):
+            raise ModelError(
+                f"transition {self.name!r} has non-finite rate "
+                f"{value} in {marking!r}")
         if value < 0.0:
             raise ModelError(
                 f"transition {self.name!r} has negative rate {value} "
@@ -244,6 +253,9 @@ class StochasticRewardNet:
         if self._reward is None:
             return 0.0
         value = float(self._reward(marking))
+        if not math.isfinite(value):
+            raise ModelError(
+                f"non-finite reward {value} in marking {marking!r}")
         if value < 0.0:
             raise ModelError(
                 f"negative reward {value} in marking {marking!r}")
