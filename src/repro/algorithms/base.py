@@ -72,6 +72,42 @@ def richardson_bracket(coarse: np.ndarray, fine: np.ndarray,
 
 
 @dataclass(frozen=True)
+class EngineCapabilities:
+    """Statically declared requirements and limits of an engine.
+
+    Engines publish what they can handle through
+    :meth:`JointEngine.capabilities`, so the static-analysis layer
+    (:mod:`repro.analysis.engine_passes`) and the certified checker's
+    fallback chain can judge compatibility *before* any propagation
+    starts, and the runtime guard (:meth:`JointEngine.
+    _check_capabilities`) enforces the same declaration in one place.
+
+    Attributes
+    ----------
+    impulse_rewards:
+        Whether the engine supports transition-attached impulse
+        rewards (the occupation-time algorithm is tailored to
+        state-based rewards only; paper, Section 2.1).
+    natural_rewards_only:
+        Whether reward rates must be natural numbers (the Tijms--
+        Veldman discretisation counts reward in grid cells).
+    grid_aligned_time:
+        Whether time bounds must be multiples of an engine step.
+    certified_intervals:
+        Whether :meth:`JointEngine.joint_probability_interval` is
+        implemented.
+    notes:
+        Free-form cost caveats (phase explosion, grid memory, ...).
+    """
+
+    impulse_rewards: bool = True
+    natural_rewards_only: bool = False
+    grid_aligned_time: bool = False
+    certified_intervals: bool = True
+    notes: str = ""
+
+
+@dataclass(frozen=True)
 class PartialSweep:
     """Outcome of a deadline-bounded ``(t, r)`` grid evaluation.
 
@@ -108,6 +144,34 @@ class JointEngine(ABC):
 
     #: Short identifier used by :func:`get_engine` and the CLI.
     name: str = "abstract"
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        """The engine's static capability declaration.
+
+        The default claims full support; engines override this to
+        declare their restrictions (see :class:`EngineCapabilities`).
+        Both the runtime validation and the static-analysis layer are
+        driven by this single declaration.
+        """
+        return EngineCapabilities()
+
+    def _check_capabilities(self, model: MarkovRewardModel) -> None:
+        """Reject workloads the declared capabilities rule out.
+
+        Called from :meth:`_validate` (and directly by entry points
+        that bypass it); raising here is the runtime twin of the
+        static ``E001``-family diagnostics of
+        :mod:`repro.analysis.engine_passes`.
+        """
+        capabilities = type(self).capabilities()
+        if (not capabilities.impulse_rewards
+                and getattr(model, "has_impulse_rewards", False)):
+            raise NumericalError(
+                f"[E001] the {self.name} engine handles state-based "
+                f"rewards only (paper, Section 2.1); use the "
+                f"discretisation or pseudo-Erlang engine for impulse "
+                f"rewards")
 
     @property
     def stats(self) -> EngineStats:
@@ -538,10 +602,14 @@ class JointEngine(ABC):
         """
         return (self.name,)
 
-    @staticmethod
-    def _validate(model: MarkovRewardModel, t: float, r: float,
+    def _validate(self, model: MarkovRewardModel, t: float, r: float,
                   target: Iterable[int]) -> np.ndarray:
-        """Shared argument validation; returns the target indicator."""
+        """Shared argument validation; returns the target indicator.
+
+        Also enforces the engine's :meth:`capabilities` declaration
+        (e.g. impulse rewards vs. the occupation-time algorithm).
+        """
+        self._check_capabilities(model)
         if t < 0.0:
             raise NumericalError(f"time bound must be >= 0, got {t}")
         if r < 0.0:

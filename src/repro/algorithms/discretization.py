@@ -76,7 +76,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.algorithms.base import (JointEngine, register_engine,
+from repro.algorithms.base import (EngineCapabilities, JointEngine,
+                                   register_engine,
                                    richardson_bracket)
 from repro.algorithms.cache import EngineStats, matrix_cache
 from repro.algorithms.erlang import (zero_reward_bound_sweep,
@@ -125,6 +126,15 @@ class DiscretizationEngine(JointEngine):
     """
 
     name = "discretization"
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        return EngineCapabilities(
+            natural_rewards_only=True,
+            grid_aligned_time=True,
+            notes=("needs natural-number reward rates and impulses "
+                   "and evaluates the joint distribution on the "
+                   "d-grid only; memory grows with r/d"))
 
     def __init__(self,
                  step: float = 1.0 / 64,

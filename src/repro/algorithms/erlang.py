@@ -44,7 +44,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.algorithms.base import (JointEngine, register_engine,
+from repro.algorithms.base import (EngineCapabilities, JointEngine,
+                                   register_engine,
                                    richardson_bracket)
 from repro.algorithms.cache import EngineStats, matrix_cache
 from repro.algorithms.parallel import threaded_map
@@ -162,6 +163,15 @@ class ErlangEngine(JointEngine):
     """
 
     name = "erlang"
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        return EngineCapabilities(
+            certified_intervals=True,
+            notes=("the expanded chain has n*phases+1 states, so work "
+                   "and memory grow linearly with the phase count "
+                   "while the approximation error shrinks as "
+                   "1/phases"))
 
     def __init__(self, phases: int = 64, epsilon: float = 1e-12,
                  max_workers: Optional[int] = None):

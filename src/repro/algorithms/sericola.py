@@ -59,7 +59,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.signal import lfilter
 
-from repro.algorithms.base import JointEngine, register_engine
+from repro.algorithms.base import (EngineCapabilities, JointEngine,
+                                   register_engine)
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
 from repro.numerics.poisson import poisson_weights, right_truncation_point
@@ -116,6 +117,13 @@ class SericolaEngine(JointEngine):
     """
 
     name = "sericola"
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        return EngineCapabilities(
+            impulse_rewards=False,
+            notes=("series cost scales with the number of distinct "
+                   "reward levels and the Fox-Glynn truncation depth"))
 
     def __init__(self,
                  epsilon: float = 1e-9,
@@ -240,12 +248,7 @@ class SericolaEngine(JointEngine):
         """
         n_states = model.num_states
         rho = model.rewards
-        if getattr(model, "has_impulse_rewards", False):
-            raise NumericalError(
-                "the occupation-time algorithm handles state-based "
-                "rewards only (paper, Section 2.1); use the "
-                "discretisation or pseudo-Erlang engine for impulse "
-                "rewards")
+        self._check_capabilities(model)
         if t == 0.0:
             # Y_0 = 0 <= r: nothing exceeds the bound.
             return indicator.astype(float).copy(), np.zeros(n_states)
@@ -446,12 +449,7 @@ class SericolaEngine(JointEngine):
         """
         n_states = model.num_states
         rho = model.rewards
-        if getattr(model, "has_impulse_rewards", False):
-            raise NumericalError(
-                "the occupation-time algorithm handles state-based "
-                "rewards only (paper, Section 2.1); use the "
-                "discretisation or pseudo-Erlang engine for impulse "
-                "rewards")
+        self._check_capabilities(model)
         levels = np.unique(rho)
         m = len(levels) - 1
         rate = (model.max_exit_rate if self.uniformization_rate is None

@@ -1,0 +1,134 @@
+"""Static analysis of models, formulas and engine compatibility.
+
+"Analyse first, compute second": every failure the checker can hit at
+run time -- the occupation-time engine rejecting impulse rewards,
+divergent accumulated reward in absorbing states, stiff uniformisation
+rates blowing up the Fox--Glynn truncation -- is detectable by pure
+inspection before any propagation starts.  This package runs
+pass families over a model, a parsed CSRL formula and the selected
+joint-distribution engine(s) and reports structured
+:class:`Diagnostic` findings with stable codes (catalogued in
+``docs/DIAGNOSTICS.md``).
+
+Entry points
+------------
+* :func:`lint` -- the full pipeline over any combination of model,
+  formula, engine(s) and SRN; this is what ``repro lint`` and
+  :meth:`~repro.mc.checker.ModelChecker.lint` call.
+* :func:`lint_model` / :func:`lint_formula` / :func:`lint_srn` --
+  single-family conveniences.
+* :func:`~repro.analysis.engine_passes.engine_compatibility` /
+  :func:`~repro.analysis.engine_passes.supports` -- the per-engine
+  ``supports(model, query)`` verdict used by the
+  :class:`~repro.mc.certified.CertifiedChecker` to skip statically
+  incompatible engines and by the checker's pre-flight gate.
+
+>>> from repro.ctmc import ModelBuilder
+>>> from repro.analysis import lint
+>>> builder = ModelBuilder()
+>>> _ = builder.add_state("up", labels=("up",), reward=1.0)
+>>> _ = builder.add_state("down", labels=("down",), reward=0.0)
+>>> builder.add_transition("up", "down", 0.1)
+>>> builder.add_transition("down", "up", 2.0)
+>>> lint(model=builder.build(),
+...      formula="P>=0.5 [ up U[0,2][0,1] down ]",
+...      engine="sericola").clean
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.diagnostics import (AnalysisReport, Diagnostic,
+                                        Severity)
+from repro.analysis.engine_passes import engine_compatibility, supports
+from repro.analysis.passes import (AnalysisContext, QueryProfile,
+                                   register_pass, run_passes)
+from repro.logic import ast
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Diagnostic",
+    "QueryProfile",
+    "Severity",
+    "engine_compatibility",
+    "lint",
+    "lint_formula",
+    "lint_model",
+    "lint_srn",
+    "register_pass",
+    "run_passes",
+    "supports",
+]
+
+
+def _normalize_formula(formula) -> Optional[ast.StateFormula]:
+    if formula is None or isinstance(formula, ast.StateFormula):
+        return formula
+    from repro.logic.parser import parse_formula
+    return parse_formula(formula)
+
+
+def _normalize_engines(engine) -> tuple:
+    from repro.algorithms.base import JointEngine, get_engine
+    if engine is None:
+        return ()
+    if isinstance(engine, (str, JointEngine)):
+        engine = [engine]
+    return tuple(get_engine(entry) if isinstance(entry, str) else entry
+                 for entry in engine)
+
+
+def lint(model=None,
+         formula=None,
+         engine=None,
+         net=None,
+         model_path: Optional[str] = None,
+         families: Optional[Sequence[str]] = None) -> AnalysisReport:
+    """Run the static-analysis passes and collect the findings.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.ctmc.ctmc.CTMC` /
+        :class:`~repro.ctmc.mrm.MarkovRewardModel` (or ``None``).
+    formula:
+        A CSRL formula (string or AST node), or ``None``.
+    engine:
+        Engine name(s) or :class:`~repro.algorithms.base.JointEngine`
+        instance(s) whose compatibility should be judged; a single
+        value or a sequence.
+    net:
+        A :class:`~repro.srn.net.StochasticRewardNet` for the SRN
+        passes, or ``None``.
+    model_path:
+        Base path of the model's ``.tra/.lab/.rew`` files, enabling
+        file-level passes (duplicate ``.tra`` entries).
+    families:
+        Restrict to these pass families (default: all).
+    """
+    context = AnalysisContext(model=model,
+                              formula=_normalize_formula(formula),
+                              engines=_normalize_engines(engine),
+                              net=net,
+                              model_path=model_path)
+    return run_passes(context, families=families)
+
+
+def lint_model(model,
+               model_path: Optional[str] = None) -> AnalysisReport:
+    """Model passes only (M-codes)."""
+    return lint(model=model, model_path=model_path,
+                families=("model",))
+
+
+def lint_formula(formula, model=None) -> AnalysisReport:
+    """Formula passes only (F-codes); model-aware checks need *model*."""
+    return lint(model=model, formula=formula, families=("formula",))
+
+
+def lint_srn(net) -> AnalysisReport:
+    """SRN passes only (S-codes)."""
+    return lint(net=net, families=("srn",))

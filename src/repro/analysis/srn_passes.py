@@ -1,0 +1,166 @@
+"""SRN passes: structural diagnostics over a stochastic reward net.
+
+Codes ``S001``--``S004``; see ``docs/DIAGNOSTICS.md``.  The
+unboundedness heuristic (S003) is purely structural; the dead-
+transition and never-marked-place passes (S001/S002) explore the
+tangible reachability graph once (bounded, shared between passes via
+the context scratch space) -- state-space *generation* is a static
+inspection here, it runs no numerical engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.passes import AnalysisContext, register_pass
+from repro.errors import StateSpaceError
+
+#: Cap on the tangible markings explored for S001/S002.
+EXPLORATION_LIMIT = 50_000
+
+
+def _reachability(context: AnalysisContext):
+    """The net's tangible reachability graph, explored once per run;
+    ``(graph, failure_reason)`` with exactly one of the two set."""
+    key = "srn_reachability"
+    if key not in context.scratch:
+        from repro.srn.reachability import explore
+        try:
+            context.scratch[key] = (
+                explore(context.net, max_states=EXPLORATION_LIMIT), None)
+        except StateSpaceError as exc:
+            context.scratch[key] = (None, str(exc))
+    return context.scratch[key]
+
+
+@register_pass("srn")
+def exploration_failed(context: AnalysisContext) -> Iterator[Diagnostic]:
+    """S004: the reachability analysis could not finish."""
+    if context.net is None:
+        return
+    _, reason = _reachability(context)
+    if reason is not None:
+        yield Diagnostic(
+            code="S004",
+            severity=Severity.INFO,
+            message=(f"state-space exploration aborted ({reason}); "
+                     f"the dead-transition and never-marked-place "
+                     f"analyses were skipped"),
+            hint=("bound the net (see any S003 finding) or reduce "
+                  "the initial marking"),
+            source="srn")
+
+
+@register_pass("srn")
+def dead_transitions(context: AnalysisContext) -> Iterator[Diagnostic]:
+    """S001: timed transitions that never fire.
+
+    A transition absent from every record of the tangible reachability
+    graph is dead: its rate, guard and arcs are inert modelling
+    baggage (or, more likely, a modelling mistake).  Immediate
+    transitions are resolved away inside vanishing markings and cannot
+    be judged from the tangible graph, so they are not analysed here.
+    """
+    net = context.net
+    if net is None:
+        return
+    graph, _ = _reachability(context)
+    if graph is None:
+        return
+    fired = {name for (_, _, _, name, _) in graph.transitions}
+    dead = [t.name for t in net.transitions
+            if not t.is_immediate and t.name not in fired]
+    if dead:
+        shown = ", ".join(dead[:6])
+        if len(dead) > 6:
+            shown += f", ... ({len(dead) - 6} more)"
+        yield Diagnostic(
+            code="S001",
+            severity=Severity.WARNING,
+            message=(f"{len(dead)} timed transition(s) never fire in "
+                     f"any reachable marking"),
+            location=f"transitions {shown}",
+            hint=("check the input arcs, inhibitor arcs and guards; "
+                  "a dead transition usually means an arc points at "
+                  "the wrong place"),
+            source="srn")
+
+
+@register_pass("srn")
+def never_marked_places(context: AnalysisContext) -> Iterator[Diagnostic]:
+    """S002: places that hold no token in any reachable marking."""
+    net = context.net
+    if net is None:
+        return
+    graph, _ = _reachability(context)
+    if graph is None:
+        return
+    names = net.place_names
+    marked = [False] * len(names)
+    for marking in graph.markings:
+        for position in range(len(names)):
+            if marking[position] > 0:
+                marked[position] = True
+    empty = [names[p] for p in range(len(names)) if not marked[p]]
+    if empty:
+        shown = ", ".join(empty[:6])
+        if len(empty) > 6:
+            shown += f", ... ({len(empty) - 6} more)"
+        yield Diagnostic(
+            code="S002",
+            severity=Severity.INFO,
+            message=(f"{len(empty)} place(s) never hold a token in "
+                     f"any reachable tangible marking"),
+            location=f"places {shown}",
+            hint=("the place (and every label/guard reading it) is "
+                  "inert; remove it or fix the arcs feeding it"),
+            source="srn")
+
+
+def _net_change(transition) -> dict:
+    delta: dict = {}
+    for position, multiplicity in transition.inputs:
+        delta[position] = delta.get(position, 0) - multiplicity
+    for position, multiplicity in transition.outputs:
+        delta[position] = delta.get(position, 0) + multiplicity
+    return delta
+
+
+@register_pass("srn")
+def unbounded_place_heuristic(
+        context: AnalysisContext) -> Iterator[Diagnostic]:
+    """S003: a transition that stays enabled while producing tokens.
+
+    Structural heuristic: a transition without guard or inhibitors
+    whose firing removes no token from any place (every net change is
+    ``>= 0``) but adds one somewhere stays enabled forever once
+    enabled -- the marking grows without bound and state-space
+    generation cannot terminate.
+    """
+    net = context.net
+    if net is None:
+        return
+    suspects: List[Tuple[str, str]] = []
+    for transition in net.transitions:
+        if transition.guard is not None or transition.inhibitors:
+            continue
+        delta = _net_change(transition)
+        if not delta:
+            continue
+        if all(change >= 0 for change in delta.values()) and any(
+                change > 0 for change in delta.values()):
+            grown = [net.place_names[p] for p, change in
+                     sorted(delta.items()) if change > 0]
+            suspects.append((transition.name, ", ".join(grown)))
+    for name, places in suspects:
+        yield Diagnostic(
+            code="S003",
+            severity=Severity.WARNING,
+            message=(f"transition '{name}' consumes no tokens but "
+                     f"produces into {places}: once enabled it stays "
+                     f"enabled, so the net is structurally unbounded"),
+            location=f"transition {name}",
+            hint=("add an input or inhibitor arc (or a guard) to "
+                  "bound the production"),
+            source="srn")

@@ -90,6 +90,30 @@ def _build_parser() -> argparse.ArgumentParser:
     case.add_argument("--step", type=float, default=1.0 / 64)
     case.set_defaults(handler=_cmd_case_study)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static diagnostics over a model, formula and engine "
+             "choice -- no engine runs; usable as a CI gate")
+    lint.add_argument("--model", required=True,
+                      help="base path of the .tra/.lab/.rew files")
+    lint.add_argument("--formula", default=None,
+                      help="CSRL state formula to analyse against the "
+                           "model (optional)")
+    lint.add_argument("--engine", default="all",
+                      help="engine name whose compatibility to judge, "
+                           "or 'all' (default) for every registered "
+                           "engine, or 'none'")
+    lint.add_argument("--initial-state", type=int, default=0,
+                      help="0-based initial state index")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="output format (default: text)")
+    lint.add_argument("--fail-on", default="error",
+                      choices=("warning", "error"),
+                      help="lowest severity that fails the run "
+                           "(default: error)")
+    lint.set_defaults(handler=_cmd_lint)
+
     engines = sub.add_parser("engines", help="list available engines")
     engines.set_defaults(handler=_cmd_engines)
 
@@ -110,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_check(args) -> int:
+    from repro.errors import PreflightError
     model = model_io.load_mrm(args.model,
                               initial_state=args.initial_state)
     engine = get_engine(args.engine) if args.engine != "sericola" \
@@ -117,7 +142,16 @@ def _cmd_check(args) -> int:
     checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
     if args.certify:
         return _certified_check(checker, model, args)
-    result = checker.check(args.formula)
+    try:
+        result = checker.check(args.formula)
+    except PreflightError as exc:
+        print(f"the {args.engine} engine cannot handle this query:",
+              file=sys.stderr)
+        for diagnostic in exc.diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
+        print("(repro lint shows the full analysis; pass a different "
+              "--engine or fix the model/formula)", file=sys.stderr)
+        return 2
     print(result)
     if result.probabilities is not None:
         for s in range(model.num_states):
@@ -207,6 +241,28 @@ def _cmd_case_study(args) -> int:
         print(f"  {name:15s} {vector[initial]:.8f}   "
               f"({elapsed:7.2f} s)")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """``repro lint``: exit 0 = pass, 1 = warnings (with
+    ``--fail-on warning``), 2 = errors."""
+    from repro import analysis
+
+    model = model_io.load_mrm(args.model,
+                              initial_state=args.initial_state)
+    if args.engine == "all":
+        engines = available_engines()
+    elif args.engine == "none":
+        engines = ()
+    else:
+        engines = (args.engine,)
+    report = analysis.lint(model=model, formula=args.formula,
+                           engine=engines, model_path=args.model)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text(header=f"{args.model}:"))
+    return report.exit_code(fail_on=args.fail_on)
 
 
 def _cmd_engines(args) -> int:

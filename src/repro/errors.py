@@ -110,3 +110,24 @@ class ParallelExecutionError(NumericalError):
 
 class BudgetExhaustedError(NumericalError):
     """A per-query budget (deadline or refinement rounds) ran out."""
+
+
+class PreflightError(NumericalError):
+    """The static pre-flight analysis vetoed the computation.
+
+    Raised by :class:`~repro.mc.checker.ModelChecker` before any engine
+    runs when the analysis passes (see :mod:`repro.analysis`) find an
+    ``ERROR``-severity incompatibility between the model, the formula
+    and the selected engine.  The offending findings ride along so
+    callers can render codes and fix hints instead of a traceback.
+
+    Attributes
+    ----------
+    diagnostics:
+        The ``ERROR``-severity :class:`~repro.analysis.Diagnostic`
+        findings that triggered the veto, in report order.
+    """
+
+    def __init__(self, message: str, diagnostics: "tuple | list" = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)

@@ -47,13 +47,21 @@ DEFAULT_CHAIN: Tuple[str, ...] = ("sericola", "erlang", "discretization")
 
 @dataclass(frozen=True)
 class EngineFailure:
-    """One engine's failure on the way down the fallback chain."""
+    """One engine's failure on the way down the fallback chain.
+
+    ``skipped_static`` marks engines the static compatibility analysis
+    (:func:`repro.analysis.engine_compatibility`) ruled out *before*
+    any invocation -- the engine never ran, so no runtime error was
+    paid for the knowledge.
+    """
 
     engine: str
     reason: str
+    skipped_static: bool = False
 
     def __str__(self) -> str:
-        return f"{self.engine}: {self.reason}"
+        prefix = "skipped (static): " if self.skipped_static else ""
+        return f"{self.engine}: {prefix}{self.reason}"
 
 
 @dataclass(frozen=True)
@@ -221,7 +229,13 @@ class CertifiedChecker:
         failures: "list[EngineFailure]" = []
         best: Optional[Tuple[float, np.ndarray, np.ndarray, str]] = None
 
+        reduced, query = self._static_workload(phi, psi, path)
+
         for engine in self.chain:
+            veto = self._static_veto(engine, reduced, query)
+            if veto is not None:
+                failures.append(veto)
+                continue  # never invoked; degrade without a round spent
             current: Optional[JointEngine] = engine
             while current is not None:
                 if not budget.take_round():
@@ -274,6 +288,35 @@ class CertifiedChecker:
                 f"certified checking covers until path formulas, "
                 f"got {formula.path}")
         return formula, path
+
+    def _static_workload(self, phi, psi, path: ast.Until):
+        """The reduced model and query profile the chain will face.
+
+        The compatibility verdicts are taken on the Theorem 1
+        *reduction* of the model: absorbing the ``psi`` and failure
+        states clears their impulse rows, so impulses that sit only on
+        absorbed transitions do not disqualify an engine.
+        """
+        from repro.analysis import QueryProfile
+        from repro.mc.transform import until_reduction
+        reduced = until_reduction(self.model, phi, psi)
+        query = QueryProfile.from_formula(
+            ast.Prob("<", 1.0, path))
+        return reduced, query
+
+    @staticmethod
+    def _static_veto(engine: JointEngine, reduced,
+                     query) -> Optional[EngineFailure]:
+        """An :class:`EngineFailure` when the static analysis rules the
+        engine out for this workload, else ``None``."""
+        from repro.analysis import Severity, engine_compatibility
+        findings = [d for d in engine_compatibility(engine, reduced,
+                                                    query)
+                    if d.severity is Severity.ERROR]
+        if not findings:
+            return None
+        reason = "; ".join(f"[{d.code}] {d.message}" for d in findings)
+        return EngineFailure(engine.name, reason, skipped_static=True)
 
     def _initial_width(self, lower: np.ndarray,
                        upper: np.ndarray) -> float:

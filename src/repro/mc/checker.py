@@ -46,6 +46,14 @@ class ModelChecker:
     solver:
         Linear solver for unbounded until and steady state
         (``"direct"``, ``"jacobi"`` or ``"gauss-seidel"``).
+    preflight:
+        Run the static analysis passes (:mod:`repro.analysis`) before
+        invoking the joint-distribution engine on a time- and
+        reward-bounded until, and refuse with a
+        :class:`~repro.errors.PreflightError` carrying the diagnostic
+        codes and fix hints when an ``ERROR``-severity incompatibility
+        is found -- instead of letting the engine fail mid-computation.
+        Pass ``False`` to force the run anyway.
 
     Examples
     --------
@@ -64,7 +72,8 @@ class ModelChecker:
                  model: MarkovRewardModel,
                  engine: Union[None, str, JointEngine] = None,
                  epsilon: float = 1e-12,
-                 solver: str = "direct"):
+                 solver: str = "direct",
+                 preflight: bool = True):
         if not isinstance(model, MarkovRewardModel):
             model = MarkovRewardModel(model.rate_matrix,
                                       labels=model.labels_as_dict(),
@@ -79,6 +88,7 @@ class ModelChecker:
         self.engine = engine
         self.epsilon = float(epsilon)
         self.solver = solver
+        self.preflight = bool(preflight)
         self._cache: Dict[ast.StateFormula, FrozenSet[int]] = {}
 
     @property
@@ -337,8 +347,46 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
         if time.is_trivial:
             return until.reward_bounded_until(self.model, phi, psi,
                                               reward, epsilon=self.epsilon)
+        if self.preflight:
+            self._preflight_until(phi, psi, path)
         return until.time_reward_bounded_until(self.model, phi, psi,
                                                time, reward, self.engine)
+
+    def _preflight_until(self, phi, psi, path: ast.Until) -> None:
+        """Static gate before the joint-distribution engine runs.
+
+        The compatibility verdict is taken on the *reduced* model of
+        Theorem 1, not the original: absorbing the ``psi`` and failure
+        states clears their impulse rows, so a model that carries
+        impulses only on absorbed transitions is legitimately fine for
+        an engine without impulse support.
+        """
+        from repro.analysis import QueryProfile, engine_compatibility
+        from repro.errors import PreflightError
+        reduced = until_reduction(self.model, phi, psi)
+        query = QueryProfile.from_formula(ast.Prob("<", 1.0, path))
+        findings = [d for d in engine_compatibility(self.engine,
+                                                    reduced, query)
+                    if d.severity.label == "error"]
+        if findings:
+            details = "; ".join(
+                f"[{d.code}] {d.message}" for d in findings)
+            raise PreflightError(
+                f"pre-flight analysis vetoed the {self.engine.name} "
+                f"engine for this query: {details} (pass "
+                f"preflight=False to force the run)",
+                diagnostics=findings)
+
+    def lint(self, formula: FormulaLike = None):
+        """Static diagnostics for this model/engine (and *formula*).
+
+        Runs every :mod:`repro.analysis` pass family that applies and
+        returns the :class:`~repro.analysis.AnalysisReport` -- the
+        programmatic face of ``repro lint``.
+        """
+        from repro import analysis
+        return analysis.lint(model=self.model, formula=formula,
+                             engine=self.engine)
     # ------------------------------------------------------------------
 
     def clear_cache(self) -> None:

@@ -4,6 +4,7 @@ import doctest
 
 import pytest
 
+import repro.analysis
 import repro.ctmc.builder
 import repro.logic.sugar
 import repro.mc.checker
@@ -11,6 +12,7 @@ import repro.srn.net
 from repro.algorithms import base as algorithms_base
 
 MODULES = [
+    repro.analysis,
     repro.ctmc.builder,
     repro.logic.sugar,
     repro.mc.checker,

@@ -216,9 +216,12 @@ class TestJointDistributionProperties:
             .joint_probability_vector(model, t, r, target)
         erlang = ErlangEngine(phases=1024) \
             .joint_probability_vector(model, t, r, target)
-        # The Erlang error is O(1/k) with a model-dependent constant;
-        # 1024 phases give agreement well below a percent everywhere.
-        assert np.allclose(sericola, erlang, atol=8e-3)
+        # The Erlang error is O(1/k) with a model-dependent constant:
+        # away from atoms the observed error halves with every
+        # doubling of k, but the constant varies with the rate/reward
+        # structure and reaches ~1e-2 at k = 1024 on some generated
+        # models.
+        assert np.allclose(sericola, erlang, atol=2e-2)
 
 
 class TestDualityProperties:
@@ -308,7 +311,16 @@ class TestImpulseProperties:
         spiked = model.with_impulse_rewards(impulses)
         step = 1.0 / 64
         aligned = max(step, round(t / step) * step)
-        r = (impulse + model.max_reward) * max(1.0, aligned) * 1.5
+        # The engines agree only at continuity points of the
+        # accumulated-reward CDF: the pseudo-Erlang expansion converges
+        # in distribution, so an atom exactly at the bound (e.g. an
+        # absorbing chain whose every path collects the same impulses)
+        # splits its mass across the bound however many phases are
+        # used.  The 0.375 offset moves r off the achievable-reward
+        # atoms (integer impulse multiples plus the rate term) while
+        # staying on the discretisation grid (24/64).
+        r = ((impulse + model.max_reward) * max(1.0, aligned) * 1.5
+             + 0.375)
         erlang = ErlangEngine(phases=512).joint_probability_vector(
             spiked, aligned, r, {0})
         engine = DiscretizationEngine(step=step)
