@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Diff two ``run_all.py`` BENCH files.
+
+Aligns the table rows of two benchmark runs by their sweep key
+(``epsilon`` / ``phases`` / ``step``) and reports, per row, the value
+drift and the wall-clock ratio, plus the headline sections (batched
+speedup, cache behaviour, total runtime).  Handles both schema 1
+(pre-registry) and schema 2 files -- the row keys compared here exist
+in both.
+
+Usage::
+
+    python benchmarks/compare.py OLD.json NEW.json
+    python benchmarks/compare.py OLD.json NEW.json --tolerance 1e-6
+
+Exit code 0 when every aligned value agrees within ``--tolerance``,
+1 when any value drifted (timing changes never fail the run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: table name -> the row field that identifies a sweep point.
+TABLES = (
+    ("table2_sericola", "epsilon"),
+    ("table3_erlang", "phases"),
+    ("table4_discretization", "step"),
+)
+
+
+def load(path: Path) -> Dict[str, Any]:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: not a BENCH file (expected an object)")
+    return data
+
+
+def _schema(data: Dict[str, Any]) -> int:
+    return int(data.get("schema", 1))
+
+
+def _index_rows(rows: List[Dict[str, Any]],
+                key: str) -> Dict[Any, Dict[str, Any]]:
+    return {row.get(key): row for row in rows}
+
+
+def _ratio(old: Optional[float], new: Optional[float]) -> str:
+    if not old or new is None:
+        return "     n/a"
+    return f"{new / old:7.2f}x"
+
+
+def compare_table(name: str, key: str,
+                  old: Dict[str, Any], new: Dict[str, Any],
+                  tolerance: float) -> Tuple[List[str], int]:
+    """Lines for one table plus the number of drifted values."""
+    old_rows = _index_rows(old.get(name, []), key)
+    new_rows = _index_rows(new.get(name, []), key)
+    if not old_rows and not new_rows:
+        return [], 0
+    lines = [f"{name} (by {key}):"]
+    drifted = 0
+    for row_key in old_rows.keys() | new_rows.keys():
+        before = old_rows.get(row_key)
+        after = new_rows.get(row_key)
+        if before is None or after is None:
+            side = "old" if after is None else "new"
+            lines.append(f"  {key}={row_key}: only in {side} file")
+            continue
+        delta = abs(float(after["value"]) - float(before["value"]))
+        marker = ""
+        if delta > tolerance:
+            marker = "  DRIFT"
+            drifted += 1
+        lines.append(
+            f"  {key}={row_key}: value {before['value']:.8f} -> "
+            f"{after['value']:.8f} (|d|={delta:.2e}){marker}  "
+            f"time {before['seconds']:.3f}s -> {after['seconds']:.3f}s "
+            f"[{_ratio(before['seconds'], after['seconds'])}]")
+    # Deterministic output whatever the dict iteration order.
+    lines[1:] = sorted(lines[1:])
+    return lines, drifted
+
+
+def compare(old: Dict[str, Any], new: Dict[str, Any],
+            tolerance: float) -> Tuple[str, int]:
+    lines = [
+        f"old: schema {_schema(old)}, {old.get('date', '?')}, "
+        f"quick={old.get('quick')}, python {old.get('python', '?')}",
+        f"new: schema {_schema(new)}, {new.get('date', '?')}, "
+        f"quick={new.get('quick')}, python {new.get('python', '?')}",
+        "",
+    ]
+    drifted = 0
+    for name, key in TABLES:
+        table_lines, table_drift = compare_table(name, key, old, new,
+                                                 tolerance)
+        if table_lines:
+            lines.extend(table_lines)
+            lines.append("")
+        drifted += table_drift
+
+    old_speed = old.get("batched_speedup") or {}
+    new_speed = new.get("batched_speedup") or {}
+    if old_speed and new_speed:
+        lines.append(
+            f"batched_speedup: {old_speed.get('speedup')}x -> "
+            f"{new_speed.get('speedup')}x")
+    old_cache = old.get("cache") or {}
+    new_cache = new.get("cache") or {}
+    if old_cache and new_cache:
+        lines.append(
+            f"cache repeat: {old_cache.get('repeat_seconds')}s -> "
+            f"{new_cache.get('repeat_seconds')}s")
+    if "total_seconds" in old and "total_seconds" in new:
+        lines.append(
+            f"total: {old['total_seconds']}s -> {new['total_seconds']}s "
+            f"[{_ratio(old['total_seconds'], new['total_seconds'])}]")
+    if drifted:
+        lines.append("")
+        lines.append(f"{drifted} value(s) drifted beyond "
+                     f"tolerance {tolerance:g}")
+    return "\n".join(lines), drifted
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline BENCH file")
+    parser.add_argument("new", type=Path, help="candidate BENCH file")
+    parser.add_argument("--tolerance", type=float, default=1e-6,
+                        help="max |value| drift per aligned row "
+                             "(default 1e-6); timings never fail")
+    args = parser.parse_args(argv)
+    report, drifted = compare(load(args.old), load(args.new),
+                              args.tolerance)
+    print(report)
+    return 1 if drifted else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,10 +39,19 @@ from repro.algorithms import (DiscretizationEngine, ErlangEngine,
 from repro.mc.checker import ModelChecker
 from repro.models import adhoc
 from repro.numerics.poisson import poisson_cache_info
+from repro.obs import OBS, REGISTRY
+from repro.obs.metrics import ENGINE_STAT_COUNTERS
 
 from bench_sweep import sweep_section
 
 REFERENCE = adhoc.Q3_REFERENCE_VALUE
+
+#: Output format version.  2 = per-row engine counters and timing
+#: totals are read back from the ``repro.obs`` metrics registry (the
+#: primary ledger) instead of the ``EngineStats`` compatibility view,
+#: and the file carries this ``schema`` marker for
+#: ``benchmarks/compare.py``.
+SCHEMA_VERSION = 2
 
 QUICK = {
     "epsilons": [1e-2, 1e-4, 1e-6],
@@ -63,6 +72,32 @@ def _timed(function):
     start = time.perf_counter()
     value = function()
     return value, time.perf_counter() - start
+
+
+def _captured(function):
+    """Run *function* under a fresh observability capture.
+
+    Returns ``(value, seconds)`` like :func:`_timed`; afterwards the
+    registry holds exactly this run's counters and timing histograms,
+    which :func:`_registry_row` reads back into the bench row.
+    """
+    with OBS.capture(reset_metrics=True):
+        return _timed(function)
+
+
+def _registry_row(engine_name: str) -> dict:
+    """One run's engine counters and timing totals, from the registry."""
+    snapshot = REGISTRY.snapshot()
+    label = f'{{engine="{engine_name}"}}'
+    row = {field: int(snapshot.get(metric, {}).get(label, 0))
+           for field, metric in ENGINE_STAT_COUNTERS.items()}
+    matvec = snapshot.get("repro_matvec_block_seconds", {}).get(label)
+    if matvec and matvec.get("count"):
+        row["matvec_seconds"] = round(float(matvec["sum"]), 6)
+    fox = snapshot.get("repro_fox_glynn_seconds", {}).get("")
+    if fox and fox.get("count"):
+        row["fox_glynn_seconds"] = round(float(fox["sum"]), 6)
+    return row
 
 
 #: Converged self-reference (set in main); errors are measured against
@@ -88,10 +123,10 @@ def bench_table2(setting, epsilons) -> list:
     for epsilon in epsilons:
         clear_caches()
         engine = SericolaEngine(epsilon=epsilon)
-        vector, seconds = _timed(
+        vector, seconds = _captured(
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
         rows.append(_row(vector[initial], seconds, epsilon=epsilon,
-                         **engine.stats.as_dict()))
+                         **_registry_row(engine.name)))
         print(f"  sericola eps={epsilon:.0e}: {rows[-1]['value']:.8f} "
               f"({seconds:.3f}s)")
     return rows
@@ -103,11 +138,11 @@ def bench_table3(setting, phase_counts) -> list:
     for phases in phase_counts:
         clear_caches()
         engine = ErlangEngine(phases=phases)
-        vector, seconds = _timed(
+        vector, seconds = _captured(
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
         rows.append(_row(vector[initial], seconds, phases=phases,
                          expanded_states=engine.last_expanded_size,
-                         **engine.stats.as_dict()))
+                         **_registry_row(engine.name)))
         print(f"  erlang k={phases:4d}: {rows[-1]['value']:.8f} "
               f"({seconds:.3f}s)")
     return rows
@@ -119,11 +154,11 @@ def bench_table4(setting, steps) -> list:
     for step in steps:
         clear_caches()
         engine = DiscretizationEngine(step=step)
-        vector, seconds = _timed(
+        vector, seconds = _captured(
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
         rows.append(_row(vector[initial], seconds,
                          step=f"1/{int(round(1 / step))}",
-                         **engine.stats.as_dict()))
+                         **_registry_row(engine.name)))
         print(f"  discretization d=1/{int(round(1 / step)):3d}: "
               f"{rows[-1]['value']:.8f} ({seconds:.3f}s)")
     return rows
@@ -162,10 +197,11 @@ def bench_cache(setting) -> dict:
     checker = ModelChecker(adhoc.adhoc_model())
     formula = ("P<=0.25 [ (call_idle | doze) U[0,24][0,600] "
                "call_initiated ]")
-    _, first_seconds = _timed(lambda: checker.check(formula))
-    checker.clear_cache()
-    _, second_seconds = _timed(lambda: checker.check(formula))
-    stats = checker.engine_stats
+    with OBS.capture(reset_metrics=True):
+        _, first_seconds = _timed(lambda: checker.check(formula))
+        checker.clear_cache()
+        _, second_seconds = _timed(lambda: checker.check(formula))
+    stats = _registry_row(checker.engine.name)
     print(f"  first check {first_seconds:.3f}s, repeat "
           f"{second_seconds:.4f}s, stats {stats}")
     return {
@@ -215,6 +251,7 @@ def main(argv=None) -> int:
     sweep = sweep_section(quick=arguments.quick)
 
     results = {
+        "schema": SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
         "quick": arguments.quick,
         "python": platform.python_version(),

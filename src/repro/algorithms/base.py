@@ -33,15 +33,25 @@ series, one Erlang iterate sequence per reward bound).
 from __future__ import annotations
 
 import copy
+import threading
+import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Type)
 
 import numpy as np
 
 from repro.algorithms.cache import EngineStats, joint_cache
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, WorkerError
+from repro.obs import OBS, record_engine_stats
+from repro.obs import span as obs_span
+
+#: Per-thread nesting depth of :meth:`JointEngine._observed` blocks;
+#: stats deltas are published at depth 0 only (see its docstring).
+_OBS_DEPTH = threading.local()
 
 
 def richardson_bracket(coarse: np.ndarray, fine: np.ndarray,
@@ -182,6 +192,53 @@ class JointEngine(ABC):
             existing = self._stats = EngineStats()
         return existing
 
+    @contextmanager
+    def _observed(self, name: str, histogram: Optional[str] = None,
+                  publish_stats: bool = True,
+                  **attributes) -> Iterator:
+        """Observability wrapper shared by the engine entry points.
+
+        With :mod:`repro.obs` disabled this degrades to yielding the
+        inert no-op span (one flag check).  Enabled, it opens a tracer
+        span named *name* carrying ``engine=`` plus *attributes*,
+        snapshots :attr:`stats` around the body, publishes the delta
+        to the metrics registry (``repro_engine_*_total``), and -- when
+        *histogram* is given -- records the wall duration there.
+
+        Stats are published by the *outermost* engine span of each
+        thread only: the interval brackets call a companion engine's
+        entry point and then ``merge`` its counters, so the outer delta
+        already contains the nested call's work -- publishing both
+        would double-count.  *publish_stats=False* opts out entirely;
+        :meth:`joint_probability_sweep_partial` uses it because its
+        worker threads publish their own top-level deltas before the
+        merge.
+        """
+        if not OBS.enabled:
+            with obs_span(name) as null_span:
+                yield null_span
+            return
+        depth = getattr(_OBS_DEPTH, "value", 0)
+        _OBS_DEPTH.value = depth + 1
+        before = (self.stats.as_dict()
+                  if publish_stats and depth == 0 else None)
+        start = time.perf_counter()
+        with OBS.tracer.span(name, engine=self.name,
+                             **attributes) as span:
+            try:
+                yield span
+            finally:
+                _OBS_DEPTH.value = depth
+                elapsed = time.perf_counter() - start
+                if before is not None:
+                    after = self.stats.as_dict()
+                    delta = {key: after[key] - before[key]
+                             for key in after}
+                    record_engine_stats(OBS.metrics, self.name, delta)
+                if histogram is not None:
+                    OBS.metrics.histogram(
+                        histogram, engine=self.name).observe(elapsed)
+
     def joint_probability_vector(self,
                                  model: MarkovRewardModel,
                                  t: float,
@@ -196,21 +253,26 @@ class JointEngine(ABC):
         are served from the shared LRU cache; the
         :attr:`stats` counters record hits and misses.
         """
-        indicator = self._validate(model, t, r, target)
-        key = (model.fingerprint, self._cache_token(),
-               float(t), float(r), indicator.tobytes())
-        cached = joint_cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached.copy()
-        self.stats.cache_misses += 1
-        vector = np.asarray(
-            self._compute_joint_vector(model, t, r, indicator),
-            dtype=float)
-        frozen = vector.copy()
-        frozen.flags.writeable = False
-        self.stats.cache_evictions += joint_cache.put(key, frozen)
-        return vector
+        with self._observed("joint_vector",
+                            histogram="repro_engine_joint_vector_seconds",
+                            t=float(t), r=float(r)) as span:
+            indicator = self._validate(model, t, r, target)
+            key = (model.fingerprint, self._cache_token(),
+                   float(t), float(r), indicator.tobytes())
+            cached = joint_cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                span.set(cache_hit=True)
+                return cached.copy()
+            self.stats.cache_misses += 1
+            span.set(cache_hit=False)
+            vector = np.asarray(
+                self._compute_joint_vector(model, t, r, indicator),
+                dtype=float)
+            frozen = vector.copy()
+            frozen.flags.writeable = False
+            self.stats.cache_evictions += joint_cache.put(key, frozen)
+            return vector
 
     def joint_probability_interval(self,
                                    model: MarkovRewardModel,
@@ -230,23 +292,27 @@ class JointEngine(ABC):
         lies inside the interval.  Entries are cached alongside the
         point vectors under interval-marked keys.
         """
-        indicator = self._validate(model, t, r, target)
-        key = (model.fingerprint, self._cache_token(),
-               float(t), float(r), indicator.tobytes(), "interval")
-        cached = joint_cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached[0].copy(), cached[1].copy()
-        self.stats.cache_misses += 1
-        lower, upper = self._compute_joint_interval(
-            model, float(t), float(r), indicator)
-        lower = np.asarray(lower, dtype=float)
-        upper = np.asarray(upper, dtype=float)
-        frozen = (lower.copy(), upper.copy())
-        for half in frozen:
-            half.flags.writeable = False
-        self.stats.cache_evictions += joint_cache.put(key, frozen)
-        return lower, upper
+        with self._observed("joint_interval", t=float(t),
+                            r=float(r)) as span:
+            indicator = self._validate(model, t, r, target)
+            key = (model.fingerprint, self._cache_token(),
+                   float(t), float(r), indicator.tobytes(), "interval")
+            cached = joint_cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                span.set(cache_hit=True)
+                return cached[0].copy(), cached[1].copy()
+            self.stats.cache_misses += 1
+            span.set(cache_hit=False)
+            lower, upper = self._compute_joint_interval(
+                model, float(t), float(r), indicator)
+            lower = np.asarray(lower, dtype=float)
+            upper = np.asarray(upper, dtype=float)
+            frozen = (lower.copy(), upper.copy())
+            for half in frozen:
+                half.flags.writeable = False
+            self.stats.cache_evictions += joint_cache.put(key, frozen)
+            return lower, upper
 
     def _compute_joint_interval(self,
                                 model: MarkovRewardModel,
@@ -283,56 +349,61 @@ class JointEngine(ABC):
         """
         times = [float(t) for t in times]
         rewards = [float(r) for r in reward_bounds]
-        indicator = self._validate(model, 0.0, 0.0, target)
-        for t in times:
-            if t < 0.0:
-                raise NumericalError(
-                    f"time bound must be >= 0, got {t}")
-        for r in rewards:
-            if r < 0.0:
-                raise NumericalError(
-                    f"reward bound must be >= 0, got {r}")
-        token = self._cache_token()
-        mask = indicator.tobytes()
-        shape = (len(times), len(rewards), model.num_states)
-        lower = np.empty(shape)
-        upper = np.empty(shape)
-        self.stats.sweep_points += shape[0] * shape[1]
-        missing: List[Tuple[int, int]] = []
-        for i, t in enumerate(times):
-            for j, r in enumerate(rewards):
-                key = (model.fingerprint, token, t, r, mask, "interval")
-                cached = joint_cache.get(key)
-                if cached is not None:
-                    self.stats.cache_hits += 1
-                    lower[i, j], upper[i, j] = cached
-                else:
-                    self.stats.cache_misses += 1
-                    missing.append((i, j))
-        if not missing:
+        with self._observed("joint_interval_sweep",
+                            points=len(times) * len(rewards)) as span:
+            indicator = self._validate(model, 0.0, 0.0, target)
+            for t in times:
+                if t < 0.0:
+                    raise NumericalError(
+                        f"time bound must be >= 0, got {t}")
+            for r in rewards:
+                if r < 0.0:
+                    raise NumericalError(
+                        f"reward bound must be >= 0, got {r}")
+            token = self._cache_token()
+            mask = indicator.tobytes()
+            shape = (len(times), len(rewards), model.num_states)
+            lower = np.empty(shape)
+            upper = np.empty(shape)
+            self.stats.sweep_points += shape[0] * shape[1]
+            missing: List[Tuple[int, int]] = []
+            for i, t in enumerate(times):
+                for j, r in enumerate(rewards):
+                    key = (model.fingerprint, token, t, r, mask,
+                           "interval")
+                    cached = joint_cache.get(key)
+                    if cached is not None:
+                        self.stats.cache_hits += 1
+                        lower[i, j], upper[i, j] = cached
+                    else:
+                        self.stats.cache_misses += 1
+                        missing.append((i, j))
+            span.set(missing=len(missing))
+            if not missing:
+                return lower, upper
+            need_times = sorted({times[i] for i, _ in missing})
+            need_rewards = sorted({rewards[j] for _, j in missing})
+            t_index = {t: i for i, t in enumerate(need_times)}
+            r_index = {r: j for j, r in enumerate(need_rewards)}
+            sub_lower, sub_upper = self._compute_joint_interval_sweep(
+                model, need_times, need_rewards, indicator)
+            stored = set()
+            for i, j in missing:
+                si, sj = t_index[times[i]], r_index[rewards[j]]
+                lower[i, j] = sub_lower[si, sj]
+                upper[i, j] = sub_upper[si, sj]
+                point = (times[i], rewards[j])
+                if point in stored:
+                    continue
+                stored.add(point)
+                frozen = (sub_lower[si, sj].copy(),
+                          sub_upper[si, sj].copy())
+                for half in frozen:
+                    half.flags.writeable = False
+                self.stats.cache_evictions += joint_cache.put(
+                    (model.fingerprint, token, times[i], rewards[j],
+                     mask, "interval"), frozen)
             return lower, upper
-        need_times = sorted({times[i] for i, _ in missing})
-        need_rewards = sorted({rewards[j] for _, j in missing})
-        t_index = {t: i for i, t in enumerate(need_times)}
-        r_index = {r: j for j, r in enumerate(need_rewards)}
-        sub_lower, sub_upper = self._compute_joint_interval_sweep(
-            model, need_times, need_rewards, indicator)
-        stored = set()
-        for i, j in missing:
-            si, sj = t_index[times[i]], r_index[rewards[j]]
-            lower[i, j] = sub_lower[si, sj]
-            upper[i, j] = sub_upper[si, sj]
-            point = (times[i], rewards[j])
-            if point in stored:
-                continue
-            stored.add(point)
-            frozen = (sub_lower[si, sj].copy(), sub_upper[si, sj].copy())
-            for half in frozen:
-                half.flags.writeable = False
-            self.stats.cache_evictions += joint_cache.put(
-                (model.fingerprint, token, times[i], rewards[j], mask,
-                 "interval"), frozen)
-        return lower, upper
 
     def _compute_joint_interval_sweep(self,
                                       model: MarkovRewardModel,
@@ -393,47 +464,64 @@ class JointEngine(ABC):
         from repro.algorithms.parallel import deadline_map
         times = [float(t) for t in times]
         rewards = [float(r) for r in reward_bounds]
-        indicator = self._validate(model, 0.0, 0.0, target)
-        for t in times:
-            if t < 0.0:
-                raise NumericalError(
-                    f"time bound must be >= 0, got {t}")
-        for r in rewards:
-            if r < 0.0:
-                raise NumericalError(
-                    f"reward bound must be >= 0, got {r}")
-        target_list = [int(s) for s in np.flatnonzero(indicator)]
-        cells = [(i, j) for i in range(len(times))
-                 for j in range(len(rewards))]
-        grid = np.full((len(times), len(rewards), model.num_states),
-                       np.nan)
-        completed_mask = np.zeros((len(times), len(rewards)),
-                                  dtype=bool)
-        self.stats.sweep_points += len(cells)
-        clones = [self._worker_clone() for _ in cells]
+        with self._observed("joint_sweep_partial", publish_stats=False,
+                            points=len(times) * len(rewards)) as span:
+            indicator = self._validate(model, 0.0, 0.0, target)
+            for t in times:
+                if t < 0.0:
+                    raise NumericalError(
+                        f"time bound must be >= 0, got {t}")
+            for r in rewards:
+                if r < 0.0:
+                    raise NumericalError(
+                        f"reward bound must be >= 0, got {r}")
+            target_list = [int(s) for s in np.flatnonzero(indicator)]
+            cells = [(i, j) for i in range(len(times))
+                     for j in range(len(rewards))]
+            grid = np.full((len(times), len(rewards),
+                            model.num_states), np.nan)
+            completed_mask = np.zeros((len(times), len(rewards)),
+                                      dtype=bool)
+            self.stats.sweep_points += len(cells)
+            if OBS.enabled:
+                # The worker threads publish their own cell deltas;
+                # only this method's direct contribution goes here.
+                record_engine_stats(OBS.metrics, self.name,
+                                    {"sweep_points": len(cells)})
+            clones = [self._worker_clone() for _ in cells]
+            engine_name = self.name
 
-        def run(task):
-            clone, (i, j) = task
-            return clone.joint_probability_vector(
-                model, times[i], rewards[j], target_list)
+            def run(task):
+                clone, (i, j) = task
+                start = time.perf_counter()
+                try:
+                    return clone.joint_probability_vector(
+                        model, times[i], rewards[j], target_list)
+                finally:
+                    if OBS.enabled:
+                        OBS.metrics.histogram(
+                            "repro_sweep_cell_seconds",
+                            engine=engine_name).observe(
+                                time.perf_counter() - start)
 
-        labels = [f"cell (t={times[i]}, r={rewards[j]})"
-                  for i, j in cells]
-        results, completed, failures = deadline_map(
-            run, list(zip(clones, cells)), deadline=deadline,
-            max_workers=max_workers, labels=labels)
-        for clone in clones:
-            self.stats.merge(clone.stats)
-        unevaluated = []
-        for position, (i, j) in enumerate(cells):
-            if completed[position]:
-                grid[i, j] = results[position]
-                completed_mask[i, j] = True
-            else:
-                unevaluated.append((i, j))
-        return PartialSweep(grid=grid, completed=completed_mask,
-                            unevaluated=tuple(unevaluated),
-                            failures=tuple(failures))
+            labels = [f"cell (t={times[i]}, r={rewards[j]})"
+                      for i, j in cells]
+            results, completed, failures = deadline_map(
+                run, list(zip(clones, cells)), deadline=deadline,
+                max_workers=max_workers, labels=labels)
+            for clone in clones:
+                self.stats.merge(clone.stats)
+            unevaluated = []
+            for position, (i, j) in enumerate(cells):
+                if completed[position]:
+                    grid[i, j] = results[position]
+                    completed_mask[i, j] = True
+                else:
+                    unevaluated.append((i, j))
+            span.set(unevaluated=len(unevaluated))
+            return PartialSweep(grid=grid, completed=completed_mask,
+                                unevaluated=tuple(unevaluated),
+                                failures=tuple(failures))
 
     @abstractmethod
     def _compute_joint_vector(self,
@@ -471,55 +559,62 @@ class JointEngine(ABC):
         """
         times = [float(t) for t in times]
         rewards = [float(r) for r in reward_bounds]
-        for t in times:
-            if t < 0.0:
-                raise NumericalError(
-                    f"time bound must be >= 0, got {t}")
-        for r in rewards:
-            if r < 0.0:
-                raise NumericalError(
-                    f"reward bound must be >= 0, got {r}")
-        indicator = self._validate(model, 0.0, 0.0, target)
-        token = self._cache_token()
-        mask = indicator.tobytes()
-        grid = np.empty((len(times), len(rewards), model.num_states))
-        self.stats.sweep_points += grid.shape[0] * grid.shape[1]
-        missing: List[Tuple[int, int]] = []
-        for i, t in enumerate(times):
-            for j, r in enumerate(rewards):
-                key = (model.fingerprint, token, t, r, mask)
-                cached = joint_cache.get(key)
-                if cached is not None:
-                    self.stats.cache_hits += 1
-                    grid[i, j] = cached
-                else:
-                    self.stats.cache_misses += 1
-                    missing.append((i, j))
-        if not missing:
+        with self._observed("joint_sweep",
+                            points=len(times) * len(rewards)) as span:
+            for t in times:
+                if t < 0.0:
+                    raise NumericalError(
+                        f"time bound must be >= 0, got {t}")
+            for r in rewards:
+                if r < 0.0:
+                    raise NumericalError(
+                        f"reward bound must be >= 0, got {r}")
+            indicator = self._validate(model, 0.0, 0.0, target)
+            token = self._cache_token()
+            mask = indicator.tobytes()
+            grid = np.empty((len(times), len(rewards),
+                             model.num_states))
+            self.stats.sweep_points += grid.shape[0] * grid.shape[1]
+            missing: List[Tuple[int, int]] = []
+            for i, t in enumerate(times):
+                for j, r in enumerate(rewards):
+                    key = (model.fingerprint, token, t, r, mask)
+                    cached = joint_cache.get(key)
+                    if cached is not None:
+                        self.stats.cache_hits += 1
+                        grid[i, j] = cached
+                    else:
+                        self.stats.cache_misses += 1
+                        missing.append((i, j))
+            span.set(missing=len(missing))
+            if not missing:
+                return grid
+            # One engine-native sweep over the distinct times/rewards
+            # that still need work; duplicates in the request collapse
+            # here.
+            need_times = sorted({times[i] for i, _ in missing})
+            need_rewards = sorted({rewards[j] for _, j in missing})
+            t_index = {t: i for i, t in enumerate(need_times)}
+            r_index = {r: j for j, r in enumerate(need_rewards)}
+            computed = np.asarray(
+                self._compute_joint_sweep(model, need_times,
+                                          need_rewards, indicator),
+                dtype=float)
+            stored = set()
+            for i, j in missing:
+                vector = computed[t_index[times[i]],
+                                  r_index[rewards[j]]]
+                grid[i, j] = vector
+                point = (times[i], rewards[j])
+                if point in stored:
+                    continue
+                stored.add(point)
+                frozen = vector.copy()
+                frozen.flags.writeable = False
+                self.stats.cache_evictions += joint_cache.put(
+                    (model.fingerprint, token, times[i], rewards[j],
+                     mask), frozen)
             return grid
-        # One engine-native sweep over the distinct times/rewards that
-        # still need work; duplicates in the request collapse here.
-        need_times = sorted({times[i] for i, _ in missing})
-        need_rewards = sorted({rewards[j] for _, j in missing})
-        t_index = {t: i for i, t in enumerate(need_times)}
-        r_index = {r: j for j, r in enumerate(need_rewards)}
-        computed = np.asarray(
-            self._compute_joint_sweep(model, need_times, need_rewards,
-                                      indicator), dtype=float)
-        stored = set()
-        for i, j in missing:
-            vector = computed[t_index[times[i]], r_index[rewards[j]]]
-            grid[i, j] = vector
-            point = (times[i], rewards[j])
-            if point in stored:
-                continue
-            stored.add(point)
-            frozen = vector.copy()
-            frozen.flags.writeable = False
-            self.stats.cache_evictions += joint_cache.put(
-                (model.fingerprint, token, times[i], rewards[j], mask),
-                frozen)
-        return grid
 
     def _compute_joint_sweep(self,
                              model: MarkovRewardModel,

@@ -67,6 +67,20 @@ joint_probability_sweep` (each point is also accounted as a cache hit
         :data:`joint_cache` (count or byte-size cap reached).  A
         steadily growing value on a sweep workload means the grid no
         longer fits the cache and repeated cells will recompute.
+
+    Thread safety: plain ``+=`` increments from the numerics hot loops
+    stay lock-free -- each in-flight computation owns a private stats
+    object (workers get clones), so increments are never contended.
+    The *cross-object* operations -- :meth:`merge`, :meth:`reset`,
+    :meth:`as_dict` -- are the points where one thread touches another
+    thread's object, and those hold a per-instance lock so a merge can
+    never interleave with a concurrent snapshot read.
+
+    With :mod:`repro.obs` enabled these counters are also published,
+    per engine call, into the process-wide metrics registry as
+    ``repro_engine_*_total{engine=...}`` -- the registry is the
+    primary ledger; this dataclass remains the per-engine
+    compatibility view.
     """
 
     cache_hits: int = 0
@@ -75,15 +89,19 @@ joint_probability_sweep` (each point is also accounted as a cache hit
     matvec_count: int = 0
     sweep_points: int = 0
     cache_evictions: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.propagation_steps = 0
-        self.matvec_count = 0
-        self.sweep_points = 0
-        self.cache_evictions = 0
+        """Zero every counter, atomically with respect to
+        :meth:`merge` and :meth:`as_dict` on the same object."""
+        with self._lock:
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.propagation_steps = 0
+            self.matvec_count = 0
+            self.sweep_points = 0
+            self.cache_evictions = 0
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats object's counters onto this one.
@@ -91,23 +109,34 @@ joint_probability_sweep` (each point is also accounted as a cache hit
         The threaded fan-out gives every worker a private stats object
         and merges them (in deterministic task order) when all workers
         have finished, so concurrent ``+=`` on shared counters never
-        happens.
+        happens.  The merge itself is atomic: *other* is snapshotted
+        under its own lock first (:meth:`as_dict`), then the sums are
+        applied under this object's lock, so a reader polling ``stats``
+        from another thread (a progress display, the obs publisher)
+        sees either none or all of a worker's contribution -- never a
+        half-merged state.  Taking the two locks sequentially rather
+        than nested keeps the operation deadlock-free whatever the
+        merge direction.
         """
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.propagation_steps += other.propagation_steps
-        self.matvec_count += other.matvec_count
-        self.sweep_points += other.sweep_points
-        self.cache_evictions += other.cache_evictions
+        delta = other.as_dict()
+        with self._lock:
+            self.cache_hits += delta["cache_hits"]
+            self.cache_misses += delta["cache_misses"]
+            self.propagation_steps += delta["propagation_steps"]
+            self.matvec_count += delta["matvec_count"]
+            self.sweep_points += delta["sweep_points"]
+            self.cache_evictions += delta["cache_evictions"]
 
     def as_dict(self) -> Dict[str, int]:
-        """The counters as a plain dict (JSON-friendly)."""
-        return {"cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "propagation_steps": self.propagation_steps,
-                "matvec_count": self.matvec_count,
-                "sweep_points": self.sweep_points,
-                "cache_evictions": self.cache_evictions}
+        """The counters as a plain dict (JSON-friendly), snapshotted
+        atomically under the instance lock."""
+        with self._lock:
+            return {"cache_hits": self.cache_hits,
+                    "cache_misses": self.cache_misses,
+                    "propagation_steps": self.propagation_steps,
+                    "matvec_count": self.matvec_count,
+                    "sweep_points": self.sweep_points,
+                    "cache_evictions": self.cache_evictions}
 
 
 def value_nbytes(value: Any) -> int:

@@ -69,6 +69,7 @@ over GIL-releasing threads (the ``max_workers`` knob).
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 from math import gcd
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -85,6 +86,8 @@ from repro.algorithms.erlang import (zero_reward_bound_sweep,
 from repro.algorithms.parallel import threaded_map
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, RewardError
+from repro.obs import OBS
+from repro.obs import span as obs_span
 
 
 def integer_reward_scale(rewards: Iterable[float],
@@ -192,33 +195,42 @@ class DiscretizationEngine(JointEngine):
         weight = np.zeros((n, num_cells))
         weight[:, start:] = indicator[:, None]
 
-        for _ in range(num_steps - 1):
-            # Adjoint of (stay + R^T d + impulse shifts) on the state
-            # axis: the *untransposed* grouped rate matrices, with the
-            # impulse displacement now shifting *down* in reward.
-            merged = stay[:, None] * weight + base @ weight
-            for cells, group in impulse_items:
-                down = np.zeros_like(weight)
-                down[:, :num_cells - cells] = weight[:, cells:]
-                merged += group @ down
-            self.stats.matvec_count += 1 + len(impulse_items)
-            self.stats.propagation_steps += 1
-            # Adjoint of the per-state reward displacement: shift down
-            # by rho(s); under "clamp" the out-of-range cells fold into
-            # cell 0 (the adjoint of duplicating cell 0 upward).
-            shifted = np.zeros_like(weight)
-            for value, states in reward_groups:
-                if value == 0:
-                    shifted[states] = merged[states]
-                elif value < num_cells:
-                    shifted[states, :num_cells - value] = \
-                        merged[states, value:]
-                    if clamp:
-                        shifted[states, 0] += \
-                            merged[states, :value].sum(axis=1)
-                elif clamp:
-                    shifted[states, 0] = merged[states, :].sum(axis=1)
-            weight = shifted
+        matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
+                                             engine=self.name)
+                       if OBS.enabled else None)
+        with obs_span("adjoint_propagation", steps=num_steps - 1,
+                      cells=num_cells):
+            for _ in range(num_steps - 1):
+                # Adjoint of (stay + R^T d + impulse shifts) on the state
+                # axis: the *untransposed* grouped rate matrices, with the
+                # impulse displacement now shifting *down* in reward.
+                if matvec_hist is not None:
+                    block_start = time.perf_counter()
+                merged = stay[:, None] * weight + base @ weight
+                for cells, group in impulse_items:
+                    down = np.zeros_like(weight)
+                    down[:, :num_cells - cells] = weight[:, cells:]
+                    merged += group @ down
+                if matvec_hist is not None:
+                    matvec_hist.observe(time.perf_counter() - block_start)
+                self.stats.matvec_count += 1 + len(impulse_items)
+                self.stats.propagation_steps += 1
+                # Adjoint of the per-state reward displacement: shift down
+                # by rho(s); under "clamp" the out-of-range cells fold into
+                # cell 0 (the adjoint of duplicating cell 0 upward).
+                shifted = np.zeros_like(weight)
+                for value, states in reward_groups:
+                    if value == 0:
+                        shifted[states] = merged[states]
+                    elif value < num_cells:
+                        shifted[states, :num_cells - value] = \
+                            merged[states, value:]
+                        if clamp:
+                            shifted[states, 0] += \
+                                merged[states, :value].sum(axis=1)
+                    elif clamp:
+                        shifted[states, 0] = merged[states, :].sum(axis=1)
+                weight = shifted
 
         result = np.zeros(n)
         in_range = rho < num_cells
@@ -374,35 +386,44 @@ class DiscretizationEngine(JointEngine):
         weight[:, start:] = indicator[:, None]
 
         out = np.empty((len(times), n))
-        for advances in range(num_steps):
-            # `advances` applications done: the weight array holds the
-            # values for the horizon (advances + 1) * d.
-            for index in snapshots.get(advances + 1, ()):
-                result = np.zeros(n)
-                result[in_range] = weight[in_range, rho[in_range]]
-                out[index] = np.clip(result, 0.0, 1.0)
-            if advances == num_steps - 1:
-                break
-            merged = stay[:, None] * weight + base @ weight
-            for cells, group in impulse_items:
-                down = np.zeros_like(weight)
-                down[:, :num_cells - cells] = weight[:, cells:]
-                merged += group @ down
-            stats.matvec_count += 1 + len(impulse_items)
-            stats.propagation_steps += 1
-            shifted = np.zeros_like(weight)
-            for value, states in reward_groups:
-                if value == 0:
-                    shifted[states] = merged[states]
-                elif value < num_cells:
-                    shifted[states, :num_cells - value] = \
-                        merged[states, value:]
-                    if clamp:
-                        shifted[states, 0] += \
-                            merged[states, :value].sum(axis=1)
-                elif clamp:
-                    shifted[states, 0] = merged[states, :].sum(axis=1)
-            weight = shifted
+        matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
+                                             engine=self.name)
+                       if OBS.enabled else None)
+        with obs_span("adjoint_column", r=float(r), steps=num_steps,
+                      points=len(times)):
+            for advances in range(num_steps):
+                # `advances` applications done: the weight array holds
+                # the values for the horizon (advances + 1) * d.
+                for index in snapshots.get(advances + 1, ()):
+                    result = np.zeros(n)
+                    result[in_range] = weight[in_range, rho[in_range]]
+                    out[index] = np.clip(result, 0.0, 1.0)
+                if advances == num_steps - 1:
+                    break
+                if matvec_hist is not None:
+                    block_start = time.perf_counter()
+                merged = stay[:, None] * weight + base @ weight
+                for cells, group in impulse_items:
+                    down = np.zeros_like(weight)
+                    down[:, :num_cells - cells] = weight[:, cells:]
+                    merged += group @ down
+                if matvec_hist is not None:
+                    matvec_hist.observe(time.perf_counter() - block_start)
+                stats.matvec_count += 1 + len(impulse_items)
+                stats.propagation_steps += 1
+                shifted = np.zeros_like(weight)
+                for value, states in reward_groups:
+                    if value == 0:
+                        shifted[states] = merged[states]
+                    elif value < num_cells:
+                        shifted[states, :num_cells - value] = \
+                            merged[states, value:]
+                        if clamp:
+                            shifted[states, 0] += \
+                                merged[states, :value].sum(axis=1)
+                    elif clamp:
+                        shifted[states, 0] = merged[states, :].sum(axis=1)
+                weight = shifted
         return out
 
     def final_density_batch(self,

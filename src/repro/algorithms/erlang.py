@@ -52,6 +52,7 @@ from repro.algorithms.parallel import threaded_map
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
+from repro.obs import span as obs_span
 from repro.numerics.uniformization import (
     transient_distribution, transient_target_probabilities,
     transient_target_probabilities_sweep)
@@ -83,7 +84,17 @@ def erlang_expanded_model(model: MarkovRewardModel,
     cached = matrix_cache.get(key)
     if cached is not None:
         return cached
+    with obs_span("expand_chain", phases=int(phases), r=float(r),
+                  states=model.num_states):
+        result = _build_expanded_model(model, r, phases)
+    matrix_cache.put(key, result)
+    return result
 
+
+def _build_expanded_model(model: MarkovRewardModel,
+                          r: float,
+                          phases: int) -> Tuple[CTMC, int]:
+    """The uncached construction behind :func:`erlang_expanded_model`."""
     n = model.num_states
     k = phases
     barrier = n * k
@@ -142,9 +153,7 @@ def erlang_expanded_model(model: MarkovRewardModel,
         vals.append(advance)
     expanded = sp.coo_matrix((vals, (rows, cols)),
                              shape=(barrier + 1, barrier + 1)).tocsr()
-    result = (CTMC(expanded), barrier)
-    matrix_cache.put(key, result)
-    return result
+    return (CTMC(expanded), barrier)
 
 
 @register_engine

@@ -39,6 +39,7 @@ EngineStats`; the clones share the accuracy parameters (hence the
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import (FIRST_EXCEPTION, ThreadPoolExecutor,
@@ -49,6 +50,7 @@ from typing import (Callable, Iterable, List, Optional, Sequence,
 import numpy as np
 
 from repro.errors import ParallelExecutionError, WorkerError
+from repro.obs import OBS, REGISTRY
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -56,6 +58,50 @@ _R = TypeVar("_R")
 #: Upper bound on the default worker count; fan-outs are memory-bound
 #: sparse kernels, so more threads than this rarely help.
 DEFAULT_WORKER_CAP = 8
+
+
+def remaining(deadline: Optional[float]) -> float:
+    """Seconds left until *deadline* (an absolute ``time.monotonic()``
+    timestamp); ``math.inf`` when there is no deadline.
+
+    The single time-arithmetic point of the module: every deadline
+    comparison is ``remaining(deadline) <= 0.0`` and every pool wait
+    timeout is derived from the same value, so the slack cannot drift
+    between call sites.
+    """
+    if deadline is None:
+        return math.inf
+    return deadline - time.monotonic()
+
+
+def _record_deadline_missed(count: int) -> None:
+    """Count tasks abandoned because their deadline passed.
+
+    Recorded unconditionally (the registry is always on): a silent
+    timeout is precisely the situation observability must not lose.
+    """
+    if count > 0:
+        REGISTRY.counter("repro_deadline_missed_total").inc(count)
+
+
+def _traced(function: Callable[[_T], _R],
+            labels: Optional[Sequence[str]]
+            ) -> Callable[[int, _T], _R]:
+    """Wrap *function* for the fan-out: with observability enabled,
+    each task runs inside a worker-labelled child span attached to the
+    *calling* thread's current span (captured here, before any worker
+    starts), so a sweep's tasks appear under the sweep span instead of
+    as detached roots."""
+    if not OBS.enabled:
+        return lambda index, item: function(item)
+    parent = OBS.tracer.current()
+
+    def run(index: int, item: _T) -> _R:
+        label = _label_of(labels, index) or f"task {index}"
+        with OBS.tracer.span("worker", parent=parent, worker=label):
+            return function(item)
+
+    return run
 
 
 def resolve_workers(max_workers: Optional[int], num_tasks: int) -> int:
@@ -100,11 +146,12 @@ def threaded_map(function: Callable[[_T], _R],
     """
     items = list(items)
     workers = resolve_workers(max_workers, len(items))
+    task = _traced(function, labels)
     if workers <= 1:
         results: List[_R] = []
         for index, item in enumerate(items):
             try:
-                results.append(function(item))
+                results.append(task(index, item))
             except Exception as exc:
                 failure = WorkerError(index, exc,
                                       _label_of(labels, index))
@@ -112,7 +159,8 @@ def threaded_map(function: Callable[[_T], _R],
                 raise error from exc
         return results
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(function, item) for item in items]
+        futures = [pool.submit(task, index, item)
+                   for index, item in enumerate(items)]
         done, pending = wait(futures, return_when=FIRST_EXCEPTION)
         if any(f.exception() is not None for f in done):
             # Cancel everything that has not started; running tasks
@@ -170,29 +218,34 @@ def deadline_map(function: Callable[[_T], _R],
             completed[index] = True
 
     workers = resolve_workers(max_workers, n)
+    task = _traced(function, labels)
     if workers <= 1:
+        started = 0
         for index, item in enumerate(items):
-            if deadline is not None and time.monotonic() >= deadline:
+            if remaining(deadline) <= 0.0:
                 break
+            started = index + 1
             try:
-                results[index] = function(item)
+                results[index] = task(index, item)
                 completed[index] = True
             except Exception as exc:
                 failures.append(
                     WorkerError(index, exc, _label_of(labels, index)))
+        _record_deadline_missed(n - started)
         return results, completed, failures
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(function, item) for item in items]
+        futures = [pool.submit(task, index, item)
+                   for index, item in enumerate(items)]
         pending = set(futures)
         while pending:
-            timeout = (None if deadline is None
-                       else max(0.0, deadline - time.monotonic()))
+            left = remaining(deadline)
+            timeout = None if left == math.inf else max(0.0, left)
             done, pending = wait(pending, timeout=timeout)
-            if pending and deadline is not None \
-                    and time.monotonic() >= deadline:
-                for future in pending:
-                    future.cancel()
+            if pending and remaining(deadline) <= 0.0:
+                cancelled = sum(
+                    1 for future in pending if future.cancel())
+                _record_deadline_missed(cancelled)
                 break
         # The context exit joins the running stragglers.
     for index, future in enumerate(futures):

@@ -52,6 +52,7 @@ accumulates more than ``rho_0 t`` with probability one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -64,6 +65,8 @@ from repro.algorithms.base import (EngineCapabilities, JointEngine,
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
 from repro.numerics.poisson import poisson_weights, right_truncation_point
+from repro.obs import OBS
+from repro.obs import span as obs_span
 
 
 def _first_order_scan(stay: float, move: float, inputs: np.ndarray,
@@ -312,45 +315,61 @@ class SericolaEngine(JointEngine):
         reward_classes = [np.flatnonzero(rho == level)
                           for level in levels]
 
-        for n in range(1, depth + 1):
-            u, b = self._advance_series(matrix, u, b, levels,
-                                        reward_classes)
-            # Binomial weights: w(n,k) = (1-x) w(n-1,k) + x w(n-1,k-1).
-            new_mix = np.zeros(n + 1)
-            new_mix[:n] = (1.0 - x) * mix
-            new_mix[1:] += x * mix
-            mix = new_mix
-            inner = mix @ b[h - 1]
-            weight = psi.probability(n)
-            if weight > 0.0:
-                complementary += weight * inner
-                joint += weight * (u - inner)
-            if self.steady_state_detection:
-                drift = max(float(np.max(np.abs(inner
-                                                - previous_inner))),
-                            float(np.max(np.abs(u - previous_u))))
-                stable_steps = stable_steps + 1 \
-                    if drift < detection_tolerance else 0
-                if stable_steps >= 3:
-                    # The inner terms have stabilised: the remaining
-                    # Poisson mass multiplies (essentially) the same
-                    # vectors.
-                    remaining_complementary = inner
-                    remaining_joint = u - inner
-                    if n >= psi.left:
-                        mass = float(
-                            psi.weights[n + 1 - psi.left:].sum())
-                    else:
-                        mass = 1.0 - float(
-                            psi.weights[:max(0, n + 1
-                                             - psi.left)].sum())
-                    complementary += mass * remaining_complementary
-                    joint += mass * remaining_joint
-                    steps_used = n
-                    break
-                previous_inner = inner
-                previous_u = u
+        record = None
+        tail = None
+        if OBS.enabled:
+            record = OBS.convergence.start_series(
+                "sericola_series", depth, engine=self.name,
+                rate=rate, t=float(t), r=float(r), levels=m + 1)
+            tail = psi.tail_from()
+        with obs_span("series", depth=depth) as series_span:
+            for n in range(1, depth + 1):
+                u, b = self._advance_series(matrix, u, b, levels,
+                                            reward_classes)
+                # Binomial weights:
+                # w(n,k) = (1-x) w(n-1,k) + x w(n-1,k-1).
+                new_mix = np.zeros(n + 1)
+                new_mix[:n] = (1.0 - x) * mix
+                new_mix[1:] += x * mix
+                mix = new_mix
+                inner = mix @ b[h - 1]
+                weight = psi.probability(n)
+                if weight > 0.0:
+                    complementary += weight * inner
+                    joint += weight * (u - inner)
+                if record is not None:
+                    record.record(n, psi.remaining_after(n, tail))
+                if self.steady_state_detection:
+                    drift = max(float(np.max(np.abs(inner
+                                                    - previous_inner))),
+                                float(np.max(np.abs(u - previous_u))))
+                    stable_steps = stable_steps + 1 \
+                        if drift < detection_tolerance else 0
+                    if stable_steps >= 3:
+                        # The inner terms have stabilised: the
+                        # remaining Poisson mass multiplies
+                        # (essentially) the same vectors.
+                        remaining_complementary = inner
+                        remaining_joint = u - inner
+                        if n >= psi.left:
+                            mass = float(
+                                psi.weights[n + 1 - psi.left:].sum())
+                        else:
+                            mass = 1.0 - float(
+                                psi.weights[:max(0, n + 1
+                                                 - psi.left)].sum())
+                        complementary += mass * remaining_complementary
+                        joint += mass * remaining_joint
+                        steps_used = n
+                        break
+                    previous_inner = inner
+                    previous_u = u
+            series_span.set(steps=steps_used)
 
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "repro_sericola_truncation_depth").update_max(
+                    steps_used)
         self.last_diagnostics = SericolaDiagnostics(
             truncation_steps=steps_used,
             uniformization_rate=rate,
@@ -375,9 +394,18 @@ class SericolaEngine(JointEngine):
         m = len(b)
         n = b[0].shape[0]
         n_states = b[0].shape[1]
-        u_next = matrix @ u
-        # P applied to every b(g, n-1, k) at once: rows k, states j.
-        pb = [(matrix @ b[g].T).T for g in range(m)]
+        if OBS.enabled:
+            start = time.perf_counter()
+            u_next = matrix @ u
+            # P applied to every b(g, n-1, k) at once: rows k, states j.
+            pb = [(matrix @ b[g].T).T for g in range(m)]
+            OBS.metrics.histogram(
+                "repro_matvec_block_seconds",
+                engine=self.name).observe(time.perf_counter() - start)
+        else:
+            u_next = matrix @ u
+            # P applied to every b(g, n-1, k) at once: rows k, states j.
+            pb = [(matrix @ b[g].T).T for g in range(m)]
         self.stats.matvec_count += 1 + m
         self.stats.propagation_steps += 1
         new_b = [np.empty((n + 1, n_states)) for _ in range(m)]
@@ -510,31 +538,44 @@ class SericolaEngine(JointEngine):
             if psi.left == 0:
                 grid[i, j] += psi.weights[0] * u
 
-        for n in range(1, depth_u + 1):
-            if n <= depth_b:
-                u, b = self._advance_series(matrix, u, b, levels,
-                                            reward_classes)
-                for x, mix in mixes.items():
-                    new_mix = np.zeros(n + 1)
-                    new_mix[:n] = (1.0 - x) * mix
-                    new_mix[1:] += x * mix
-                    mixes[x] = new_mix
-                for p in normal_points:
-                    if n > p["depth"]:
-                        continue
-                    inner = mixes[p["x"]] @ b[p["h"] - 1]
-                    weight = p["psi"].probability(n)
-                    if weight > 0.0:
-                        p["joint"] += weight * (u - inner)
-            else:
-                # Past every series depth only the transient
-                # accumulations remain: advance u alone.
-                u = matrix @ u
-                self.stats.matvec_count += 1
-                self.stats.propagation_steps += 1
-            for i, j, psi in trans:
-                if psi.left <= n <= psi.right:
-                    grid[i, j] += psi.weights[n - psi.left] * u
+        record = None
+        if OBS.enabled and normal_points:
+            deepest = max(normal_points, key=lambda p: p["depth"])
+            record = OBS.convergence.start_series(
+                "sericola_series", depth_u, engine=self.name,
+                rate=rate, points=len(normal_points), sweep=True)
+            record_psi = deepest["psi"]
+            record_tail = record_psi.tail_from()
+        with obs_span("series_sweep", depth=depth_u,
+                      points=len(normal_points) + len(trans)):
+            for n in range(1, depth_u + 1):
+                if n <= depth_b:
+                    u, b = self._advance_series(matrix, u, b, levels,
+                                                reward_classes)
+                    for x, mix in mixes.items():
+                        new_mix = np.zeros(n + 1)
+                        new_mix[:n] = (1.0 - x) * mix
+                        new_mix[1:] += x * mix
+                        mixes[x] = new_mix
+                    for p in normal_points:
+                        if n > p["depth"]:
+                            continue
+                        inner = mixes[p["x"]] @ b[p["h"] - 1]
+                        weight = p["psi"].probability(n)
+                        if weight > 0.0:
+                            p["joint"] += weight * (u - inner)
+                else:
+                    # Past every series depth only the transient
+                    # accumulations remain: advance u alone.
+                    u = matrix @ u
+                    self.stats.matvec_count += 1
+                    self.stats.propagation_steps += 1
+                if record is not None:
+                    record.record(n, record_psi.remaining_after(
+                        n, record_tail))
+                for i, j, psi in trans:
+                    if psi.left <= n <= psi.right:
+                        grid[i, j] += psi.weights[n - psi.left] * u
 
         for p in normal_points:
             grid[p["i"], p["j"]] = np.clip(p["joint"], 0.0, 1.0)
@@ -546,6 +587,10 @@ class SericolaEngine(JointEngine):
                 reward_levels=m + 1,
                 level_index=deepest["h"],
                 normalized_bound=deepest["x"])
+            if OBS.enabled:
+                OBS.metrics.gauge(
+                    "repro_sericola_truncation_depth").update_max(
+                        deepest["depth"])
         return grid
 
     # ------------------------------------------------------------------
@@ -564,12 +609,13 @@ class SericolaEngine(JointEngine):
                               epsilon=min(self.epsilon * 1e-3, 1e-14))
         vector = indicator.astype(float).copy()
         result = np.zeros_like(vector)
-        for k in range(psi.right + 1):
-            if k >= psi.left:
-                result += psi.weights[k - psi.left] * vector
-            if k == psi.right:
-                break
-            vector = matrix @ vector
-            self.stats.matvec_count += 1
-            self.stats.propagation_steps += 1
+        with obs_span("transient_series", depth=psi.right):
+            for k in range(psi.right + 1):
+                if k >= psi.left:
+                    result += psi.weights[k - psi.left] * vector
+                if k == psi.right:
+                    break
+                vector = matrix @ vector
+                self.stats.matvec_count += 1
+                self.stats.propagation_steps += 1
         return result

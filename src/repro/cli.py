@@ -50,10 +50,13 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check", help="check a CSRL formula on a model from disk")
     check.add_argument("--model", required=True,
-                       help="base path of the .tra/.lab/.rew files")
+                       help="base path of the .tra/.lab/.rew files, or "
+                            "'adhoc' for the paper's case-study model")
     check.add_argument("--formula", required=True,
                        help="CSRL state formula, e.g. "
-                            "'P>0.5 [ a U[0,24][0,600] b ]'")
+                            "'P>0.5 [ a U[0,24][0,600] b ]'; with "
+                            "--model adhoc, 'Q1'/'Q2'/'Q3' name the "
+                            "paper's properties")
     check.add_argument("--engine", default="sericola",
                        choices=available_engines(),
                        help="engine for time+reward bounded until")
@@ -78,7 +81,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated engine fallback chain "
                             "for --certify (default: sericola,"
                             "erlang,discretization)")
+    check.add_argument("--profile", action="store_true",
+                       help="capture spans/metrics during the check "
+                            "and print the profile report (span tree, "
+                            "cache hit ratios, timings, convergence)")
+    check.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the captured span trace as JSON "
+                            "lines to FILE (implies capturing)")
     check.set_defaults(handler=_cmd_check)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a formula with observability on and print only the "
+             "profile report")
+    profile.add_argument("--model", required=True,
+                         help="base path of the .tra/.lab/.rew files, "
+                              "or 'adhoc' for the case-study model")
+    profile.add_argument("--formula", required=True,
+                         help="CSRL state formula (or Q1/Q2/Q3 with "
+                              "--model adhoc)")
+    profile.add_argument("--engine", default="sericola",
+                         choices=available_engines(),
+                         help="engine for time+reward bounded until")
+    profile.add_argument("--initial-state", type=int, default=0,
+                         help="0-based initial state index")
+    profile.add_argument("--epsilon", type=float, default=1e-9,
+                         help="numerical accuracy")
+    profile.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="also write the JSON-lines span trace")
+    profile.add_argument("--shape", action="store_true",
+                         help="print the span-tree shape (names and "
+                              "nesting as JSON) instead of the human "
+                              "report -- the CI golden format")
+    profile.set_defaults(handler=_cmd_profile)
 
     case = sub.add_parser(
         "case-study",
@@ -133,17 +168,58 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_model(path: str, initial_state: int):
+    """A model from disk, or the paper's case study for ``adhoc``."""
+    if path == "adhoc":
+        from repro.models import adhoc
+        return adhoc.adhoc_model()
+    return model_io.load_mrm(path, initial_state=initial_state)
+
+
+def _resolve_formula(formula: str, model_path: str) -> str:
+    """Expand the Q1/Q2/Q3 shortcuts of the ``adhoc`` model."""
+    if model_path == "adhoc" and formula in ("Q1", "Q2", "Q3"):
+        from repro.models import adhoc
+        return getattr(adhoc, formula)
+    return formula
+
+
+def _emit_capture(args) -> None:
+    """Write/print what ``OBS.capture`` collected, per the flags."""
+    from repro.obs import OBS
+    from repro.obs.export import render_profile, write_jsonl
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            count = write_jsonl(OBS.tracer.spans(), handle)
+        print(f"trace: {count} spans written to {args.trace_out}",
+              file=sys.stderr)
+    if getattr(args, "profile", False):
+        print()
+        print(render_profile(OBS.tracer, OBS.metrics, OBS.convergence),
+              end="")
+
+
 def _cmd_check(args) -> int:
-    from repro.errors import PreflightError
-    model = model_io.load_mrm(args.model,
-                              initial_state=args.initial_state)
+    model = _load_model(args.model, args.initial_state)
     engine = get_engine(args.engine) if args.engine != "sericola" \
         else SericolaEngine(epsilon=args.epsilon)
     checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+    formula = _resolve_formula(args.formula, args.model)
+    if not (args.profile or args.trace_out):
+        return _run_check(checker, model, formula, args)
+    from repro.obs import OBS
+    with OBS.capture():
+        code = _run_check(checker, model, formula, args)
+    _emit_capture(args)
+    return code
+
+
+def _run_check(checker: ModelChecker, model, formula: str, args) -> int:
+    from repro.errors import PreflightError
     if args.certify:
-        return _certified_check(checker, model, args)
+        return _certified_check(checker, model, formula, args)
     try:
-        result = checker.check(args.formula)
+        result = checker.check(formula)
     except PreflightError as exc:
         print(f"the {args.engine} engine cannot handle this query:",
               file=sys.stderr)
@@ -162,7 +238,8 @@ def _cmd_check(args) -> int:
     return 0 if result.holds_initially else 1
 
 
-def _certified_check(checker: ModelChecker, model, args) -> int:
+def _certified_check(checker: ModelChecker, model, formula: str,
+                     args) -> int:
     """``repro check --certify``: three-valued verdict, exit code
     0 = TRUE, 1 = FALSE, 2 = UNKNOWN."""
     from repro.mc.budget import Budget
@@ -174,7 +251,7 @@ def _certified_check(checker: ModelChecker, model, args) -> int:
     budget = None
     if args.budget is not None or args.max_rounds is not None:
         budget = Budget(seconds=args.budget, max_rounds=args.max_rounds)
-    result = checker.check_certified(args.formula, chain=chain,
+    result = checker.check_certified(formula, chain=chain,
                                      budget=budget,
                                      target_width=args.target_width)
     print(f"{result.formula}")
@@ -192,6 +269,35 @@ def _certified_check(checker: ModelChecker, model, args) -> int:
             print(f"  - {failure}")
     return {Verdict.TRUE: 0, Verdict.FALSE: 1,
             Verdict.UNKNOWN: 2}[result.verdict]
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile``: run one check with observability on and
+    print the profile report (or the span-tree shape with --shape)."""
+    import json
+
+    from repro.obs import OBS
+    from repro.obs.export import (render_profile, span_shape,
+                                  write_jsonl)
+
+    model = _load_model(args.model, args.initial_state)
+    engine = get_engine(args.engine) if args.engine != "sericola" \
+        else SericolaEngine(epsilon=args.epsilon)
+    checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+    formula = _resolve_formula(args.formula, args.model)
+    with OBS.capture():
+        result = checker.check(formula)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            write_jsonl(OBS.tracer.spans(), handle)
+    if args.shape:
+        print(json.dumps(span_shape(list(OBS.tracer.roots)), indent=2))
+        return 0
+    print(f"{result}")
+    print()
+    print(render_profile(OBS.tracer, OBS.metrics, OBS.convergence),
+          end="")
+    return 0
 
 
 def _cmd_case_study(args) -> int:

@@ -38,6 +38,8 @@ from repro.mc import until
 from repro.mc.budget import Budget
 from repro.mc.checker import FormulaLike, ModelChecker
 from repro.mc.result import Verdict, interval_verdict
+from repro.obs import OBS
+from repro.obs import span as obs_span
 
 #: Default fallback chain: the a-priori-bounded Sericola engine first
 #: (tightest certificates), then the pseudo-Erlang expansion, then the
@@ -245,10 +247,16 @@ class CertifiedChecker:
                         f"({budget!r})"))
                     return self._finish(formula, prob, best, failures,
                                         budget)
+                if OBS.enabled:
+                    OBS.metrics.counter("repro_certified_rounds_total",
+                                        engine=current.name).inc()
                 try:
-                    lower, upper = until.time_reward_bounded_until_interval(
-                        self.model, phi, psi, path.time, path.reward,
-                        current)
+                    with obs_span("certified_round", engine=current.name,
+                                  round=budget.rounds_used):
+                        lower, upper = \
+                            until.time_reward_bounded_until_interval(
+                                self.model, phi, psi, path.time,
+                                path.reward, current)
                 except UnsupportedFormulaError:
                     raise
                 except NumericalError as exc:

@@ -24,6 +24,7 @@ from repro.logic.parser import parse_formula
 from repro.mc import next_op, reward_op, steady, until
 from repro.mc.result import CheckResult
 from repro.mc.transform import until_reduction
+from repro.obs import span as obs_span
 
 FormulaLike = Union[str, ast.StateFormula]
 
@@ -111,6 +112,10 @@ EngineStats` as a plain dict: ``cache_hits``/``cache_misses`` against
     def check(self, formula: FormulaLike) -> CheckResult:
         """Check a state formula; returns the full :class:`CheckResult`."""
         formula = self._normalize(formula)
+        with obs_span("check", formula=str(formula)):
+            return self._check(formula)
+
+    def _check(self, formula: ast.StateFormula) -> CheckResult:
         probabilities: Optional[np.ndarray] = None
         if isinstance(formula, ast.Prob):
             probabilities = self.probability_vector(formula.path)
@@ -363,11 +368,12 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
         """
         from repro.analysis import QueryProfile, engine_compatibility
         from repro.errors import PreflightError
-        reduced = until_reduction(self.model, phi, psi)
-        query = QueryProfile.from_formula(ast.Prob("<", 1.0, path))
-        findings = [d for d in engine_compatibility(self.engine,
-                                                    reduced, query)
-                    if d.severity.label == "error"]
+        with obs_span("preflight", engine=self.engine.name):
+            reduced = until_reduction(self.model, phi, psi)
+            query = QueryProfile.from_formula(ast.Prob("<", 1.0, path))
+            findings = [d for d in engine_compatibility(self.engine,
+                                                        reduced, query)
+                        if d.severity.label == "error"]
         if findings:
             details = "; ".join(
                 f"[{d.code}] {d.message}" for d in findings)

@@ -17,13 +17,15 @@ total weight.
 from __future__ import annotations
 
 import math
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import NumericalError
+from repro.obs import OBS
 
 # Weight arrays are pure functions of (rate, epsilon) and every
 # uniformisation-based procedure recomputes them per call; sweeps over
@@ -93,6 +95,26 @@ class PoissonWeights:
         """
         return np.cumsum(self.weights[::-1])[::-1]
 
+    def remaining_after(self, n: int,
+                        tail: Optional[np.ndarray] = None) -> float:
+        """Normalised mass beyond term *n*: ``sum_{k > n} weights[k]``.
+
+        This is the truncation error still outstanding after iteration
+        *n* of a uniformisation series whose inner terms are bounded by
+        one -- the residual the convergence telemetry
+        (:mod:`repro.obs.convergence`) records per iteration.  Loops
+        should pass the precomputed :meth:`tail_from` array as *tail*
+        to keep the call O(1).
+        """
+        index = n + 1 - self.left
+        if index <= 0:
+            return 1.0
+        if tail is None:
+            tail = self.tail_from()
+        if index >= len(tail):
+            return 0.0
+        return float(tail[index])
+
 
 def poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
     """Compute truncated Poisson probabilities with tail mass <= *epsilon*.
@@ -125,10 +147,21 @@ def poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
         _WEIGHT_CACHE_STATS["hits"] += 1
         return cached
 
+    start = time.perf_counter() if OBS.enabled else None
+    computed = _compute_weights(rate, epsilon)
+    if start is not None:
+        OBS.metrics.histogram("repro_fox_glynn_seconds").observe(
+            time.perf_counter() - start)
+        OBS.metrics.gauge(
+            "repro_fox_glynn_right_point").update_max(computed.right)
+    return _cache_put(key, computed)
+
+
+def _compute_weights(rate: float, epsilon: float) -> PoissonWeights:
+    """The uncached Fox--Glynn computation behind :func:`poisson_weights`."""
     if rate == 0.0:
-        return _cache_put(key, PoissonWeights(
-            rate=0.0, left=0, right=0,
-            weights=np.array([1.0]), epsilon=epsilon))
+        return PoissonWeights(rate=0.0, left=0, right=0,
+                              weights=np.array([1.0]), epsilon=epsilon)
 
     mode = int(math.floor(rate))
     # Terms this far below the mode weight are irrelevant even after
@@ -175,11 +208,11 @@ def poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
     trim_right = min(trim_right, len(weights) - 1)
     trimmed = weights[trim_left:trim_right + 1].copy()
     trimmed /= trimmed.sum()
-    return _cache_put(key, PoissonWeights(rate=rate,
-                                          left=left + trim_left,
-                                          right=left + trim_right,
-                                          weights=trimmed,
-                                          epsilon=epsilon))
+    return PoissonWeights(rate=rate,
+                          left=left + trim_left,
+                          right=left + trim_right,
+                          weights=trimmed,
+                          epsilon=epsilon)
 
 
 def _cache_put(key: tuple, value: PoissonWeights) -> PoissonWeights:

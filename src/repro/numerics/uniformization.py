@@ -27,6 +27,22 @@ import numpy as np
 from repro.ctmc.ctmc import CTMC
 from repro.errors import NumericalError
 from repro.numerics.poisson import poisson_weights
+from repro.obs import OBS
+from repro.obs import span as obs_span
+
+
+def _start_record(weights, **attributes):
+    """Open a convergence record for a uniformisation loop (obs
+    enabled only); returns ``(record, tail)`` or ``(None, None)``.
+
+    The recorded residual is the remaining Poisson mass after each
+    iteration -- the a-priori truncation error still outstanding."""
+    if not OBS.enabled:
+        return None, None
+    record = OBS.convergence.start_series(
+        "uniformisation_series", weights.right,
+        rate=weights.rate, **attributes)
+    return record, weights.tail_from()
 
 # Maximum-norm threshold under which two successive uniformised vectors
 # are considered equal for steady-state detection.
@@ -94,23 +110,29 @@ def transient_distribution(model: CTMC,
     result = np.zeros_like(vector)
     tolerance = (epsilon * _STEADY_STATE_TOLERANCE_FACTOR
                  / max(1.0, float(len(weights))))
-    for k in range(weights.right + 1):
-        if k >= weights.left:
-            result += weights.weights[k - weights.left] * vector
-        if k == weights.right:
-            break
-        next_vector = vector @ matrix
-        if stats is not None:
-            stats.matvec_count += 1
-            stats.propagation_steps += 1
-        if steady_state_detection and k >= weights.left:
-            if np.max(np.abs(next_vector - vector)) < tolerance:
-                # Steady state reached: the remaining Poisson mass all
-                # multiplies (approximately) the same vector.
-                remaining = weights.weights[k + 1 - weights.left:].sum()
-                result += remaining * next_vector
-                return result
-        vector = next_vector
+    record, tail = _start_record(weights, variant="forward")
+    with obs_span("uniformisation_series", depth=weights.right,
+                  kind="forward"):
+        for k in range(weights.right + 1):
+            if k >= weights.left:
+                result += weights.weights[k - weights.left] * vector
+            if record is not None:
+                record.record(k, weights.remaining_after(k, tail))
+            if k == weights.right:
+                break
+            next_vector = vector @ matrix
+            if stats is not None:
+                stats.matvec_count += 1
+                stats.propagation_steps += 1
+            if steady_state_detection and k >= weights.left:
+                if np.max(np.abs(next_vector - vector)) < tolerance:
+                    # Steady state reached: the remaining Poisson mass
+                    # all multiplies (approximately) the same vector.
+                    remaining = weights.weights[
+                        k + 1 - weights.left:].sum()
+                    result += remaining * next_vector
+                    return result
+            vector = next_vector
     return result
 
 
@@ -149,15 +171,20 @@ def transient_target_probabilities(model: CTMC,
     matrix = model.uniformized_dtmc_matrix(rate)
     weights = poisson_weights(rate * t, epsilon=epsilon)
     result = np.zeros_like(vector)
-    for k in range(weights.right + 1):
-        if k >= weights.left:
-            result += weights.weights[k - weights.left] * vector
-        if k == weights.right:
-            break
-        vector = matrix @ vector
-        if stats is not None:
-            stats.matvec_count += 1
-            stats.propagation_steps += 1
+    record, tail = _start_record(weights, variant="backward")
+    with obs_span("uniformisation_series", depth=weights.right,
+                  kind="backward"):
+        for k in range(weights.right + 1):
+            if k >= weights.left:
+                result += weights.weights[k - weights.left] * vector
+            if record is not None:
+                record.record(k, weights.remaining_after(k, tail))
+            if k == weights.right:
+                break
+            vector = matrix @ vector
+            if stats is not None:
+                stats.matvec_count += 1
+                stats.propagation_steps += 1
     return result
 
 
@@ -205,16 +232,20 @@ def transient_target_probabilities_sweep(model: CTMC,
     depth = max((w.right for w in weight_rows if w is not None),
                 default=0)
     matrix = model.uniformized_dtmc_matrix(rate)
-    for k in range(depth + 1):
-        for i, weights in enumerate(weight_rows):
-            if weights is not None and weights.left <= k <= weights.right:
-                results[i] += weights.weights[k - weights.left] * vector
-        if k == depth:
-            break
-        vector = matrix @ vector
-        if stats is not None:
-            stats.matvec_count += 1
-            stats.propagation_steps += 1
+    with obs_span("uniformisation_series", depth=depth,
+                  kind="backward_sweep", points=len(times)):
+        for k in range(depth + 1):
+            for i, weights in enumerate(weight_rows):
+                if weights is not None \
+                        and weights.left <= k <= weights.right:
+                    results[i] += (weights.weights[k - weights.left]
+                                   * vector)
+            if k == depth:
+                break
+            vector = matrix @ vector
+            if stats is not None:
+                stats.matvec_count += 1
+                stats.propagation_steps += 1
     return results
 
 
@@ -244,15 +275,17 @@ def transient_matrix(model: CTMC,
     weights = poisson_weights(rate * t, epsilon=epsilon)
     block = np.eye(n)
     result = np.zeros((n, n))
-    for k in range(weights.right + 1):
-        if k >= weights.left:
-            result += weights.weights[k - weights.left] * block
-        if k == weights.right:
-            break
-        block = transposed @ block
-        if stats is not None:
-            stats.matvec_count += 1
-            stats.propagation_steps += 1
+    with obs_span("uniformisation_series", depth=weights.right,
+                  kind="matrix"):
+        for k in range(weights.right + 1):
+            if k >= weights.left:
+                result += weights.weights[k - weights.left] * block
+            if k == weights.right:
+                break
+            block = transposed @ block
+            if stats is not None:
+                stats.matvec_count += 1
+                stats.propagation_steps += 1
     return result.T
 
 
@@ -305,18 +338,20 @@ def expected_accumulated_reward(model,
     total = 0.0
     # Coefficient of alpha P^k is tail(k+1) / lambda; for k < left the
     # tail is 1.
-    for k in range(weights.right + 1):
-        if k + 1 <= weights.left:
-            tail = 1.0
-        else:
-            idx = k + 1 - weights.left
-            tail = float(tails[idx]) if idx < len(tails) else 0.0
-        total += tail * float(vector @ rho)
-        if k < weights.right:
-            vector = vector @ matrix
-            if stats is not None:
-                stats.matvec_count += 1
-                stats.propagation_steps += 1
+    with obs_span("uniformisation_series", depth=weights.right,
+                  kind="accumulated_reward"):
+        for k in range(weights.right + 1):
+            if k + 1 <= weights.left:
+                tail = 1.0
+            else:
+                idx = k + 1 - weights.left
+                tail = float(tails[idx]) if idx < len(tails) else 0.0
+            total += tail * float(vector @ rho)
+            if k < weights.right:
+                vector = vector @ matrix
+                if stats is not None:
+                    stats.matvec_count += 1
+                    stats.propagation_steps += 1
     # Account for the (up to `left`) leading terms whose tail is 1 but
     # which the loop already covers, and normalise by the rate.
     return total / rate

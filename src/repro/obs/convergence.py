@@ -1,0 +1,115 @@
+"""Per-iteration convergence telemetry of the series-based engines.
+
+The paper's engine comparison (Section 5, Tables 2--4) is ultimately a
+statement about *convergence behaviour*: how deep the Sericola series
+must run for a given ``epsilon``, how the uniformisation truncation
+depth grows with ``lambda t``, where the time goes per iteration.
+This module records exactly those series: the inner loops of
+:mod:`repro.algorithms.sericola` and
+:mod:`repro.numerics.uniformization` append one ``(iteration,
+residual)`` sample per step -- behind the cheap
+:attr:`repro.obs.OBS.enabled` flag, so the disabled path costs one
+attribute load per loop iteration and nothing else.
+
+The *residual* is the remaining Poisson tail mass after the iteration:
+for both series it bounds the truncation error still outstanding, so
+the recorded curve is a sound (and monotone) convergence certificate,
+directly comparable to the engines' ``epsilon`` knobs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+
+class SeriesRecord:
+    """One recorded series: identity, planned depth, sample curve.
+
+    A record belongs to the single thread that runs its loop, so
+    :meth:`record` is lock-free; creating records
+    (:meth:`ConvergenceRecorder.start_series`) is serialised by the
+    recorder.
+    """
+
+    __slots__ = ("kind", "attributes", "depth", "iterations",
+                 "residuals")
+
+    def __init__(self, kind: str, depth: int,
+                 attributes: Optional[Dict[str, Any]] = None):
+        #: Series family: ``"sericola_series"``,
+        #: ``"uniformisation_series"``, ...
+        self.kind = str(kind)
+        #: Planned truncation depth (Fox--Glynn right point).
+        self.depth = int(depth)
+        #: Context (engine name, rate, bounds, ...).
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.iterations: List[int] = []
+        self.residuals: List[float] = []
+
+    def record(self, iteration: int, residual: float) -> None:
+        """Append one ``(iteration, residual)`` sample."""
+        self.iterations.append(int(iteration))
+        self.residuals.append(float(residual))
+
+    @property
+    def steps(self) -> int:
+        """Number of samples recorded (iterations actually run)."""
+        return len(self.iterations)
+
+    @property
+    def final_residual(self) -> Optional[float]:
+        """Residual after the last recorded iteration."""
+        return self.residuals[-1] if self.residuals else None
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready condensation (no per-sample data)."""
+        return {"kind": self.kind,
+                "depth": self.depth,
+                "steps": self.steps,
+                "final_residual": self.final_residual,
+                "attributes": dict(self.attributes)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready full record, samples included."""
+        data = self.summary()
+        data["iterations"] = list(self.iterations)
+        data["residuals"] = list(self.residuals)
+        return data
+
+    def __repr__(self) -> str:
+        return (f"SeriesRecord({self.kind!r}, depth={self.depth}, "
+                f"steps={self.steps})")
+
+
+class ConvergenceRecorder:
+    """Thread-safe collection of :class:`SeriesRecord` objects."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SeriesRecord] = []
+
+    def start_series(self, kind: str, depth: int,
+                     **attributes: Any) -> SeriesRecord:
+        """Open (and register) a new series record."""
+        record = SeriesRecord(kind, depth, attributes)
+        with self._lock:
+            self._records.append(record)
+        return record
+
+    @property
+    def records(self) -> List[SeriesRecord]:
+        """All records so far, in start order."""
+        with self._lock:
+            return list(self._records)
+
+    def by_kind(self, kind: str) -> List[SeriesRecord]:
+        """The records of one series family."""
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __repr__(self) -> str:
+        return f"ConvergenceRecorder({len(self.records)} series)"

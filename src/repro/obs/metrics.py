@@ -1,0 +1,312 @@
+"""Counters, gauges and log-scale histograms behind stable names.
+
+The registry is the library's single quantitative ledger: the engines
+publish their per-call :class:`~repro.algorithms.cache.EngineStats`
+deltas here (the dataclass stays as a thin per-engine compatibility
+view), the numerics layer adds timing histograms (matvec blocks,
+Fox--Glynn weight computation, per-grid-cell sweep latency), and the
+benchmark harness derives its ``BENCH_*.json`` rows from a registry
+snapshot instead of re-implementing timing.
+
+Metric names are part of the public interface -- the catalogue lives
+in ``docs/OBSERVABILITY.md`` -- and follow the Prometheus conventions:
+``repro_<what>_total`` for counters, ``repro_<what>_seconds`` for
+timing histograms, labels for the engine dimension.  Histograms use
+*fixed* log-scale buckets (half-decade steps from one microsecond to
+1000 s) so two runs' distributions are always comparable bucket by
+bucket.
+
+Everything is standard library only; all mutation is lock-protected so
+the threaded fan-out can record concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Fixed log-scale histogram bounds: half-decade steps covering one
+#: microsecond to 1000 seconds.  Observations beyond the last bound
+#: land in the implicit +Inf bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** (-6 + 0.5 * k) for k in range(19))
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (lock-protected)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{_render_labels(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins; ``update_max`` keeps
+    the running maximum instead)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def update_max(self, value: float) -> None:
+        """Keep the largest value seen (deepest truncation, ...)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{_render_labels(self.labels)}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket log-scale histogram of non-negative observations.
+
+    ``counts[i]`` counts observations ``<= bounds[i]`` (cumulative-free
+    per-bucket counts; the Prometheus rendering accumulates).  The last
+    implicit bucket is ``+Inf``.  ``sum``/``count``/``min``/``max``
+    ride along so means and extremes need no bucket arithmetic.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 bounds: Iterable[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must ascend: {bounds}")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (clamped at 0 from below)."""
+        value = max(0.0, float(value))
+        index = 0
+        for index, bound in enumerate(self.bounds):  # noqa: B007
+            if value <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean/min/max as a plain dict."""
+        with self._lock:
+            count = self.count
+            total = self.sum
+            return {"count": float(count), "sum": total,
+                    "mean": total / count if count else 0.0,
+                    "min": self.min if self.min is not None else 0.0,
+                    "max": self.max if self.max is not None else 0.0}
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}"
+                f"{_render_labels(self.labels)}, n={self.count})")
+
+
+class MetricsRegistry:
+    """Name- and label-addressed home of every metric.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the same object afterwards, so call sites never declare metrics up
+    front.  A *name* must keep one metric type for the registry's
+    lifetime (mixing types under one name raises).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelKey], Any] = {}
+        self._types: Dict[str, type] = {}
+
+    # ------------------------------------------------------------------
+
+    def _get(self, cls: type, name: str, labels: Dict[str, Any],
+             **extra: Any) -> Any:
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} is a "
+                        f"{type(existing).__name__}, not a "
+                        f"{cls.__name__}")
+                return existing
+            registered = self._types.setdefault(name, cls)
+            if registered is not cls:
+                raise ValueError(
+                    f"metric {name!r} is a {registered.__name__}, "
+                    f"not a {cls.__name__}")
+            metric = cls(name, key[1], **extra)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter *name* with *labels* (created on first use)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge *name* with *labels* (created on first use)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """The histogram *name* with *labels* (created on first use)."""
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # ------------------------------------------------------------------
+
+    def collect(self) -> List[Any]:
+        """Every registered metric, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return [metric for _, metric in items]
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready state: ``{name: {label-string: value-or-summary}}``.
+
+        Counters and gauges map to their value; histograms to their
+        :meth:`Histogram.summary` dict.  The label string is the
+        Prometheus-style ``{k="v",...}`` rendering (empty for
+        unlabelled metrics).
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for metric in self.collect():
+            family = out.setdefault(metric.name, {})
+            label = _render_labels(metric.labels)
+            if isinstance(metric, Histogram):
+                family[label] = metric.summary()
+            else:
+                family[label] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (benchmarks isolate rows this way)."""
+        with self._lock:
+            self._metrics.clear()
+            self._types.clear()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the registry's state."""
+        lines: List[str] = []
+        last_name = None
+        for metric in self.collect():
+            if metric.name != last_name:
+                kind = {Counter: "counter", Gauge: "gauge",
+                        Histogram: "histogram"}[type(metric)]
+                lines.append(f"# TYPE {metric.name} {kind}")
+                last_name = metric.name
+            labels = _render_labels(metric.labels)
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    bucket = _render_labels(
+                        metric.labels + (("le", f"{bound:g}"),))
+                    lines.append(
+                        f"{metric.name}_bucket{bucket} {cumulative}")
+                cumulative += metric.counts[-1]
+                bucket = _render_labels(metric.labels + (("le", "+Inf"),))
+                lines.append(f"{metric.name}_bucket{bucket} {cumulative}")
+                lines.append(f"{metric.name}_sum{labels} {metric.sum:g}")
+                lines.append(f"{metric.name}_count{labels} {metric.count}")
+            else:
+                lines.append(f"{metric.name}{labels} {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+#: Mapping from :class:`~repro.algorithms.cache.EngineStats` fields to
+#: the registry's stable counter names.
+ENGINE_STAT_COUNTERS: Dict[str, str] = {
+    "cache_hits": "repro_engine_cache_hits_total",
+    "cache_misses": "repro_engine_cache_misses_total",
+    "propagation_steps": "repro_engine_propagation_steps_total",
+    "matvec_count": "repro_engine_matvec_total",
+    "sweep_points": "repro_engine_sweep_points_total",
+    "cache_evictions": "repro_engine_cache_evictions_total",
+}
+
+
+def record_engine_stats(registry: MetricsRegistry, engine: str,
+                        delta: Dict[str, int]) -> None:
+    """Publish one call's :class:`EngineStats` delta into *registry*.
+
+    This is the absorption point that lets the registry supersede the
+    per-engine counters: every engine entry point snapshots its stats
+    before and after the computation and hands the difference here, so
+    ``repro_engine_*_total{engine=...}`` accumulate exactly what the
+    compatibility view counts.
+    """
+    for field, name in ENGINE_STAT_COUNTERS.items():
+        amount = delta.get(field, 0)
+        if amount:
+            registry.counter(name, engine=engine).inc(amount)

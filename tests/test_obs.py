@@ -1,0 +1,386 @@
+"""Tests for the :mod:`repro.obs` observability layer.
+
+Covers the tracer/metrics/convergence units, the JSON-lines
+round-trip, the worker-span attachment of the thread fan-out, the
+deadline-missed counter, EngineStats atomicity -- and the two
+bit-identity guarantees: observability on vs off never changes engine
+outputs, and the disabled instrumentation path stays within noise on
+the Table-4 reference query.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (DiscretizationEngine, ErlangEngine,
+                              SericolaEngine, clear_caches)
+from repro.algorithms.cache import EngineStats
+from repro.algorithms.parallel import (deadline_map, remaining,
+                                       threaded_map)
+from repro.mc.checker import ModelChecker
+from repro.obs import OBS, REGISTRY, span
+from repro.obs.convergence import ConvergenceRecorder
+from repro.obs.export import (build_tree, cache_hit_ratios, dump_jsonl,
+                              parse_jsonl, record_shape,
+                              render_profile, span_shape)
+from repro.obs.metrics import MetricsRegistry, record_engine_stats
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Every test starts and ends with observability off and empty."""
+    OBS.disable()
+    OBS.reset()
+    REGISTRY.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+    REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# tracer
+
+
+class TestTracer:
+    def test_nesting_and_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        roots = list(tracer.roots)
+        assert [s.name for s in roots] == ["outer"]
+        child, = roots[0].children
+        assert child.name == "inner"
+        assert child.parent_id == roots[0].span_id
+        assert roots[0].wall_seconds >= child.wall_seconds >= 0.0
+
+    def test_cross_thread_parent(self):
+        tracer = Tracer()
+        with tracer.span("sweep") as parent:
+            def work():
+                with tracer.span("worker", parent=parent):
+                    pass
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        root, = tracer.roots
+        assert [c.name for c in root.children] == ["worker"]
+
+    def test_exception_recorded(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        root, = tracer.roots
+        assert "error" in root.attributes
+        assert root.wall_seconds is not None
+
+    def test_span_helper_disabled_is_noop(self):
+        assert not OBS.enabled
+        with span("ignored") as handle:
+            handle.set(key="value")
+        assert list(OBS.tracer.roots) == []
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", engine="x")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("hits_total", engine="x").value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_update_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.update_max(10)
+        gauge.update_max(3)
+        assert gauge.value == 10
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds")
+        for value in (1e-4, 2e-4, 0.5):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["max"] == 0.5
+        assert summary["sum"] == pytest.approx(0.5003)
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", engine="e").inc(2)
+        registry.histogram("h_seconds").observe(0.01)
+        text = registry.render_prometheus()
+        assert '# TYPE c_total counter' in text
+        assert 'c_total{engine="e"} 2' in text
+        assert 'le="+Inf"' in text
+
+    def test_record_engine_stats(self):
+        registry = MetricsRegistry()
+        record_engine_stats(registry, "sericola",
+                            {"cache_hits": 2, "matvec_count": 7})
+        snapshot = registry.snapshot()
+        label = '{engine="sericola"}'
+        assert snapshot["repro_engine_cache_hits_total"][label] == 2
+        assert snapshot["repro_engine_matvec_total"][label] == 7
+        assert cache_hit_ratios(registry) == {"sericola": (2, 0)}
+
+
+class TestConvergence:
+    def test_series_record(self):
+        recorder = ConvergenceRecorder()
+        record = recorder.start_series("test_series", 5, engine="x")
+        record.record(0, 0.5)
+        record.record(1, 0.1)
+        assert record.steps == 2
+        assert record.final_residual == 0.1
+        only, = recorder.records
+        assert only.kind == "test_series"
+        assert only.depth == 5
+
+
+# ----------------------------------------------------------------------
+# JSON-lines round trip
+
+
+class TestJsonlRoundTrip:
+    def test_shape_survives_disk(self, flip_flop):
+        clear_caches()
+        with OBS.capture():
+            checker = ModelChecker(flip_flop)
+            checker.check("P>0.5 [ up U[0,1][0,3] down ]")
+        text = dump_jsonl(OBS.tracer)
+        records = parse_jsonl(text)
+        assert records, "capture produced no spans"
+        live_shape = span_shape(list(OBS.tracer.roots))
+        disk_shape = record_shape(build_tree(records))
+        assert disk_shape == live_shape
+        names = {record["name"] for record in records}
+        assert "check" in names
+        assert "joint_vector" in names
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ValueError):
+            parse_jsonl("not json at all")
+        with pytest.raises(ValueError):
+            parse_jsonl(json.dumps({"no": "span fields"}))
+
+
+# ----------------------------------------------------------------------
+# bit-identity: observability must never change results
+
+
+def _engines():
+    return [SericolaEngine(epsilon=1e-8),
+            ErlangEngine(phases=32),
+            DiscretizationEngine(step=1.0 / 16)]
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("engine", _engines(),
+                             ids=lambda e: e.name)
+    def test_vector_and_sweep(self, flip_flop, engine):
+        clear_caches()
+        baseline = engine.joint_probability_vector(
+            flip_flop, 2.0, 3.0, [1])
+        grid_baseline = engine.joint_probability_sweep(
+            flip_flop, [1.0, 2.0], [1.0, 3.0], [1])
+        clear_caches()
+        engine.stats.reset()
+        with OBS.capture():
+            observed = engine.joint_probability_vector(
+                flip_flop, 2.0, 3.0, [1])
+            grid_observed = engine.joint_probability_sweep(
+                flip_flop, [1.0, 2.0], [1.0, 3.0], [1])
+        assert np.array_equal(baseline, observed)
+        assert np.array_equal(np.asarray(grid_baseline),
+                              np.asarray(grid_observed))
+
+    @settings(max_examples=10, deadline=None)
+    @given(t=st.floats(min_value=0.25, max_value=4.0),
+           r=st.floats(min_value=0.25, max_value=6.0))
+    def test_property_sericola(self, t, r):
+        from repro.ctmc import ModelBuilder
+        builder = ModelBuilder()
+        builder.add_state("up", labels=("up",), reward=2.0)
+        builder.add_state("down", labels=("down",), reward=0.0)
+        builder.add_transition("up", "down", 1.0)
+        builder.add_transition("down", "up", 3.0)
+        model = builder.build(initial_state="up")
+        engine = SericolaEngine(epsilon=1e-8)
+        clear_caches()
+        baseline = engine.joint_probability_vector(model, t, r, [1])
+        clear_caches()
+        with OBS.capture():
+            observed = engine.joint_probability_vector(model, t, r, [1])
+        OBS.disable()
+        OBS.reset()
+        REGISTRY.reset()
+        assert np.array_equal(baseline, observed)
+
+
+class TestOverheadGuard:
+    def test_disabled_span_helper_is_cheap(self):
+        assert not OBS.enabled
+        start = time.perf_counter()
+        for _ in range(200_000):
+            with span("x"):
+                pass
+        elapsed = time.perf_counter() - start
+        # One flag check and a shared no-op context: generous CI bound.
+        assert elapsed < 1.0, f"disabled span() too slow: {elapsed:.3f}s"
+
+    def test_table4_reference_query(self, adhoc_reduced):
+        """Disabled-path cost within noise on the Table-4 query."""
+        from repro.models.adhoc import Q3_REWARD_BOUND, Q3_TIME_BOUND
+        engine = DiscretizationEngine(step=1.0 / 32)
+        goal = [adhoc_reduced.goal_state]
+        model = adhoc_reduced.model
+
+        def run():
+            clear_caches()
+            start = time.perf_counter()
+            value = engine.joint_probability_vector(
+                model, Q3_TIME_BOUND, Q3_REWARD_BOUND, goal)
+            return value, time.perf_counter() - start
+
+        run()  # warm-up: imports, sparse-group construction paths
+        baseline, disabled_seconds = run()
+        with OBS.capture():
+            observed, enabled_seconds = run()
+        assert np.array_equal(baseline, observed)
+        # The disabled path must not cost more than the fully-enabled
+        # one (plus scheduling noise) -- it does strictly less work.
+        assert disabled_seconds <= enabled_seconds * 1.5 + 0.05, (
+            f"disabled {disabled_seconds:.3f}s vs "
+            f"enabled {enabled_seconds:.3f}s")
+
+
+# ----------------------------------------------------------------------
+# parallel fan-out integration
+
+
+class TestParallelObservability:
+    def test_remaining(self):
+        assert remaining(None) == math.inf
+        assert remaining(time.monotonic() + 5.0) == pytest.approx(
+            5.0, abs=0.5)
+        assert remaining(time.monotonic() - 1.0) <= 0.0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_deadline_missed_counter(self, workers):
+        REGISTRY.reset()
+        passed = time.monotonic() - 1.0
+        results, completed, failures = deadline_map(
+            lambda item: item, [1, 2, 3], deadline=passed,
+            max_workers=workers)
+        assert failures == []
+        missed = REGISTRY.snapshot().get(
+            "repro_deadline_missed_total", {}).get("", 0)
+        done = sum(completed)
+        assert done + missed == 3
+        assert missed > 0 or done == 3  # at least recorded when skipped
+
+    def test_sequential_deadline_counts_all_skipped(self):
+        REGISTRY.reset()
+        deadline_map(lambda item: item, [1, 2, 3],
+                     deadline=time.monotonic() - 1.0, max_workers=1)
+        missed = REGISTRY.snapshot()["repro_deadline_missed_total"][""]
+        assert missed == 3
+
+    def test_worker_spans_attach_to_caller(self):
+        with OBS.capture():
+            with OBS.tracer.span("fanout"):
+                threaded_map(lambda item: item * 2, [1, 2, 3],
+                             max_workers=2,
+                             labels=["a", "b", "c"])
+        root, = OBS.tracer.roots
+        workers = [c for c in root.children if c.name == "worker"]
+        assert len(workers) == 3
+        assert {w.attributes["worker"] for w in workers} == {"a", "b",
+                                                             "c"}
+
+    def test_worker_spans_absent_when_disabled(self):
+        threaded_map(lambda item: item, [1, 2], max_workers=2)
+        assert list(OBS.tracer.roots) == []
+
+
+# ----------------------------------------------------------------------
+# EngineStats atomicity (satellite of the registry absorption)
+
+
+class TestEngineStatsAtomicity:
+    def test_merge_is_atomic_under_concurrency(self):
+        total = EngineStats()
+        source = EngineStats()
+        source.cache_hits = 1
+        source.matvec_count = 2
+
+        def hammer():
+            for _ in range(500):
+                total.merge(source)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert total.cache_hits == 8 * 500
+        assert total.matvec_count == 2 * 8 * 500
+
+    def test_self_merge(self):
+        stats = EngineStats()
+        stats.cache_hits = 3
+        stats.merge(stats)
+        assert stats.cache_hits == 6
+
+    def test_reset_under_lock(self):
+        stats = EngineStats()
+        stats.propagation_steps = 9
+        stats.reset()
+        assert stats.as_dict()["propagation_steps"] == 0
+
+
+# ----------------------------------------------------------------------
+# profile rendering
+
+
+class TestRenderProfile:
+    def test_sections_present(self, flip_flop):
+        clear_caches()
+        with OBS.capture():
+            checker = ModelChecker(flip_flop)
+            # r < t * max reward keeps the reward bound binding, so the
+            # Sericola series (and its convergence record) actually runs.
+            checker.check("P>0.5 [ up U[0,1][0,1] down ]")
+        report = render_profile(OBS.tracer, OBS.metrics,
+                                OBS.convergence)
+        assert "== span tree ==" in report
+        assert "check" in report
+        assert "== cache ==" in report
+        assert "== counters & gauges ==" in report
+        assert "== convergence ==" in report

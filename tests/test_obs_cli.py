@@ -1,0 +1,106 @@
+"""CLI observability: ``--profile``, ``--trace-out``, ``repro profile``.
+
+The golden test pins the span-tree *shape* (names and nesting, never
+timings) of a reference query on ``examples/models/clean`` -- the same
+comparison CI runs.  Regenerate the golden file after an intentional
+instrumentation change with::
+
+    PYTHONPATH=src python -m repro.cli profile \
+        --model examples/models/clean \
+        --formula "P>=0.1 [ up U[0,1][0,2] down ]" --shape \
+        > tests/golden/profile_shape.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.algorithms import clear_caches
+from repro.obs import OBS, REGISTRY
+from repro.obs.export import build_tree, parse_jsonl, record_shape
+
+REPO = Path(__file__).resolve().parent.parent
+CLEAN_MODEL = str(REPO / "examples" / "models" / "clean")
+GOLDEN_SHAPE = REPO / "tests" / "golden" / "profile_shape.json"
+FORMULA = "P>=0.1 [ up U[0,1][0,2] down ]"
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    OBS.disable()
+    OBS.reset()
+    REGISTRY.reset()
+    clear_caches()
+    yield
+    OBS.disable()
+    OBS.reset()
+    REGISTRY.reset()
+
+
+class TestProfileSubcommand:
+    def test_shape_matches_golden(self, capsys):
+        code = cli.main(["profile", "--model", CLEAN_MODEL,
+                         "--formula", FORMULA, "--shape"])
+        assert code == 0
+        shape = json.loads(capsys.readouterr().out)
+        golden = json.loads(GOLDEN_SHAPE.read_text())
+        assert shape == golden
+
+    def test_report_sections(self, capsys):
+        code = cli.main(["profile", "--model", CLEAN_MODEL,
+                         "--formula", FORMULA])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "== span tree ==" in output
+        assert "check" in output
+        assert "joint_vector" in output
+        assert "== cache ==" in output
+
+    def test_adhoc_shortcut(self, capsys):
+        code = cli.main(["profile", "--model", "adhoc",
+                         "--formula", "Q3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "joint_vector" in output
+        assert "repro_sericola_truncation_depth" in output
+        assert "sericola_series" in output
+
+
+class TestCheckProfileFlags:
+    def test_check_profile_appends_report(self, capsys):
+        code = cli.main(["check", "--model", CLEAN_MODEL,
+                         "--formula", FORMULA, "--profile"])
+        output = capsys.readouterr().out
+        assert code in (0, 1)  # verdict, not the profile, drives it
+        assert "holds initially" in output
+        assert "== span tree ==" in output
+        assert "== counters & gauges ==" in output
+
+    def test_trace_out_round_trips(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = cli.main(["check", "--model", CLEAN_MODEL,
+                         "--formula", FORMULA,
+                         "--trace-out", str(trace)])
+        assert code in (0, 1)
+        records = parse_jsonl(trace.read_text())
+        assert records
+        shape = record_shape(build_tree(records))
+        golden = json.loads(GOLDEN_SHAPE.read_text())
+        assert shape == golden
+
+    def test_check_without_flags_captures_nothing(self, capsys):
+        code = cli.main(["check", "--model", CLEAN_MODEL,
+                         "--formula", FORMULA])
+        assert code in (0, 1)
+        assert list(OBS.tracer.roots) == []
+        assert "== span tree ==" not in capsys.readouterr().out
+
+    def test_check_adhoc_shortcut(self, capsys):
+        code = cli.main(["check", "--model", "adhoc",
+                         "--formula", "Q1"])
+        assert code in (0, 1)
+        assert "Sat(" in capsys.readouterr().out
