@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Kernel-backend scaling benchmark: states/second on a lattice MRM.
+
+Times the Tijms-Veldman discretisation propagation -- the hot loop
+owned by :mod:`repro.kernels` -- on the ``grid_mrm`` lattice workload
+(|S| = 10^4 by default) once per available kernel backend and reports
+the propagation throughput in states/second plus the cross-backend
+agreement.  With numba installed this is the apples-to-apples
+numpy-vs-numba comparison behind the BENCH numbers; without it the
+script still times the pure-NumPy backend.
+
+The model is deliberately banded-sparse (four lattice neighbours per
+state) with column-striped reward levels, so each propagation step is
+one CSR-times-dense-block product plus the reward shift -- exactly the
+work :class:`repro.kernels.base.DiscretizationPropagator` fuses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py           # 100x100
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick   # 32x32
+
+Exit code 0 when every pair of backends agrees to within 1e-12,
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.algorithms import DiscretizationEngine, clear_caches
+from repro.kernels import available_backends
+from repro.models.workloads import grid_mrm
+
+#: Maximum |value| disagreement tolerated between any two backends.
+TOLERANCE = 1e-12
+
+FULL = {"width": 100, "height": 100, "t": 2.0, "r": 8.0,
+        "step": 1.0 / 16, "repeats": 3}
+QUICK = {"width": 32, "height": 32, "t": 2.0, "r": 8.0,
+         "step": 1.0 / 16, "repeats": 3}
+
+
+def time_backend(backend: str, model, t: float, r: float, step: float,
+                 indicator: np.ndarray, initial: int,
+                 repeats: int) -> Tuple[float, float, float]:
+    """``(value, best_seconds, states_per_second)`` for one backend."""
+    engine = DiscretizationEngine(step=step, kernel=backend)
+    clear_caches()
+    # Warm-up run: builds the cached step operators and shift plans
+    # and, on the numba backend, pays the JIT compilation once outside
+    # the timed region.
+    value = engine.joint_probability_from(model, t, r, indicator, initial)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        again = engine.joint_probability_from(model, t, r, indicator,
+                                              initial)
+        best = min(best, time.perf_counter() - start)
+        if abs(again - value) > TOLERANCE:
+            raise AssertionError(
+                f"{backend}: non-deterministic result "
+                f"({again!r} vs {value!r})")
+    steps = int(round(t / step))
+    return value, best, model.num_states * steps / best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="32x32 grid for CI smoke (< 10 s)")
+    arguments = parser.parse_args(argv)
+    config = QUICK if arguments.quick else FULL
+
+    model = grid_mrm(config["width"], config["height"])
+    # Target the zero-reward stripe (every third column): reachable
+    # within the time bound from the start corner, so the computed
+    # probability is macroscopic and backend disagreement shows up.
+    indicator = (model.rewards == 0.0).astype(float)
+    steps = int(round(config["t"] / config["step"]))
+    print(f"grid {config['width']}x{config['height']} "
+          f"({model.num_states} states, {model.num_transitions} "
+          f"transitions), t={config['t']}, r={config['r']}, "
+          f"d={config['step']:g} ({steps} steps)")
+
+    backends = available_backends()
+    results: List[Tuple[str, float, float, float]] = []
+    for backend in backends:
+        value, seconds, rate = time_backend(
+            backend, model, config["t"], config["r"], config["step"],
+            indicator, 0, config["repeats"])
+        results.append((backend, value, seconds, rate))
+        print(f"  {backend:6s} {seconds:8.3f}s  "
+              f"{rate:14,.0f} states/s  value={value:.12f}")
+
+    if len(results) > 1:
+        values = [value for _, value, _, _ in results]
+        spread = max(values) - min(values)
+        baseline = results[0][2]
+        for backend, _, seconds, _ in results[1:]:
+            print(f"  {results[0][0]} -> {backend} speedup: "
+                  f"{baseline / seconds:.2f}x")
+        print(f"  cross-backend max|diff| = {spread:.3e} "
+              f"(tolerance {TOLERANCE:g})")
+        if spread > TOLERANCE:
+            print("  BACKENDS DISAGREE", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,17 +4,23 @@
 Aligns the table rows of two benchmark runs by their sweep key
 (``epsilon`` / ``phases`` / ``step``) and reports, per row, the value
 drift and the wall-clock ratio, plus the headline sections (batched
-speedup, cache behaviour, total runtime).  Handles both schema 1
-(pre-registry) and schema 2 files -- the row keys compared here exist
-in both.
+speedup, cache behaviour, total runtime).  Handles schema 1
+(pre-registry), schema 2 (registry counters) and schema 3 (kernel
+backend + throughput) files -- the row keys compared here exist in
+all three, and schema-3-only fields (``kernel_backend``,
+``states_per_second``) are simply reported when present.
 
 Usage::
 
     python benchmarks/compare.py OLD.json NEW.json
     python benchmarks/compare.py OLD.json NEW.json --tolerance 1e-6
+    python benchmarks/compare.py OLD.json NEW.json --min-speedup 3.0
 
 Exit code 0 when every aligned value agrees within ``--tolerance``,
-1 when any value drifted (timing changes never fail the run).
+1 when any value drifted.  With ``--min-speedup X`` the run also
+fails when any aligned Table-4 (discretisation) row is not at least
+``X`` times faster in the new file -- the CI guard for the kernel
+layer; plain timing changes never fail the run otherwise.
 """
 
 from __future__ import annotations
@@ -57,14 +63,17 @@ def _ratio(old: Optional[float], new: Optional[float]) -> str:
 
 def compare_table(name: str, key: str,
                   old: Dict[str, Any], new: Dict[str, Any],
-                  tolerance: float) -> Tuple[List[str], int]:
-    """Lines for one table plus the number of drifted values."""
+                  tolerance: float,
+                  min_speedup: Optional[float] = None
+                  ) -> Tuple[List[str], int, int]:
+    """Lines for one table plus the drifted and too-slow row counts."""
     old_rows = _index_rows(old.get(name, []), key)
     new_rows = _index_rows(new.get(name, []), key)
     if not old_rows and not new_rows:
-        return [], 0
+        return [], 0, 0
     lines = [f"{name} (by {key}):"]
     drifted = 0
+    too_slow = 0
     for row_key in old_rows.keys() | new_rows.keys():
         before = old_rows.get(row_key)
         after = new_rows.get(row_key)
@@ -77,18 +86,26 @@ def compare_table(name: str, key: str,
         if delta > tolerance:
             marker = "  DRIFT"
             drifted += 1
+        if min_speedup is not None and float(after["seconds"]) > 0:
+            speedup = float(before["seconds"]) / float(after["seconds"])
+            if speedup < min_speedup:
+                marker += f"  SLOW ({speedup:.2f}x < {min_speedup:g}x)"
+                too_slow += 1
+        kernel = after.get("kernel_backend")
+        suffix = f"  kernel={kernel}" if kernel else ""
         lines.append(
             f"  {key}={row_key}: value {before['value']:.8f} -> "
             f"{after['value']:.8f} (|d|={delta:.2e}){marker}  "
             f"time {before['seconds']:.3f}s -> {after['seconds']:.3f}s "
-            f"[{_ratio(before['seconds'], after['seconds'])}]")
+            f"[{_ratio(before['seconds'], after['seconds'])}]{suffix}")
     # Deterministic output whatever the dict iteration order.
     lines[1:] = sorted(lines[1:])
-    return lines, drifted
+    return lines, drifted, too_slow
 
 
 def compare(old: Dict[str, Any], new: Dict[str, Any],
-            tolerance: float) -> Tuple[str, int]:
+            tolerance: float,
+            min_speedup: Optional[float] = None) -> Tuple[str, int]:
     lines = [
         f"old: schema {_schema(old)}, {old.get('date', '?')}, "
         f"quick={old.get('quick')}, python {old.get('python', '?')}",
@@ -97,13 +114,18 @@ def compare(old: Dict[str, Any], new: Dict[str, Any],
         "",
     ]
     drifted = 0
+    too_slow = 0
     for name, key in TABLES:
-        table_lines, table_drift = compare_table(name, key, old, new,
-                                                 tolerance)
+        # The speedup guard targets the discretisation rows (the
+        # kernel layer's hot path); the other tables only gate values.
+        guard = min_speedup if name == "table4_discretization" else None
+        table_lines, table_drift, table_slow = compare_table(
+            name, key, old, new, tolerance, min_speedup=guard)
         if table_lines:
             lines.extend(table_lines)
             lines.append("")
         drifted += table_drift
+        too_slow += table_slow
 
     old_speed = old.get("batched_speedup") or {}
     new_speed = new.get("batched_speedup") or {}
@@ -125,7 +147,11 @@ def compare(old: Dict[str, Any], new: Dict[str, Any],
         lines.append("")
         lines.append(f"{drifted} value(s) drifted beyond "
                      f"tolerance {tolerance:g}")
-    return "\n".join(lines), drifted
+    if too_slow:
+        lines.append("")
+        lines.append(f"{too_slow} table4 row(s) below the required "
+                     f"{min_speedup:g}x speedup")
+    return "\n".join(lines), drifted + too_slow
 
 
 def main(argv=None) -> int:
@@ -136,11 +162,17 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=1e-6,
                         help="max |value| drift per aligned row "
                              "(default 1e-6); timings never fail")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless every aligned "
+                             "table4_discretization row is at least X "
+                             "times faster in NEW (CI kernel guard)")
     args = parser.parse_args(argv)
-    report, drifted = compare(load(args.old), load(args.new),
-                              args.tolerance)
+    report, failures = compare(load(args.old), load(args.new),
+                               args.tolerance,
+                               min_speedup=args.min_speedup)
     print(report)
-    return 1 if drifted else 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -50,8 +50,11 @@ REFERENCE = adhoc.Q3_REFERENCE_VALUE
 #: totals are read back from the ``repro.obs`` metrics registry (the
 #: primary ledger) instead of the ``EngineStats`` compatibility view,
 #: and the file carries this ``schema`` marker for
-#: ``benchmarks/compare.py``.
-SCHEMA_VERSION = 2
+#: ``benchmarks/compare.py``.  3 = table rows additionally record the
+#: propagation kernel backend (``kernel_backend``, see
+#: :mod:`repro.kernels`) and the throughput ``states_per_second``;
+#: matvec timing histograms are keyed by ``(engine, kernel)``.
+SCHEMA_VERSION = 3
 
 QUICK = {
     "epsilons": [1e-2, 1e-4, 1e-6],
@@ -91,13 +94,31 @@ def _registry_row(engine_name: str) -> dict:
     label = f'{{engine="{engine_name}"}}'
     row = {field: int(snapshot.get(metric, {}).get(label, 0))
            for field, metric in ENGINE_STAT_COUNTERS.items()}
-    matvec = snapshot.get("repro_matvec_block_seconds", {}).get(label)
-    if matvec and matvec.get("count"):
-        row["matvec_seconds"] = round(float(matvec["sum"]), 6)
+    # Since schema 3 the matvec histogram carries a kernel label next
+    # to the engine label, so match by substring and sum across any
+    # backends the run touched.
+    needle = f'engine="{engine_name}"'
+    matvec_sum, matvec_count = 0.0, 0
+    for labels, summary in snapshot.get(
+            "repro_matvec_block_seconds", {}).items():
+        if needle in labels and summary.get("count"):
+            matvec_sum += float(summary["sum"])
+            matvec_count += int(summary["count"])
+    if matvec_count:
+        row["matvec_seconds"] = round(matvec_sum, 6)
     fox = snapshot.get("repro_fox_glynn_seconds", {}).get("")
     if fox and fox.get("count"):
         row["fox_glynn_seconds"] = round(float(fox["sum"]), 6)
     return row
+
+
+def _states_rate(num_states: int, registry_row: dict,
+                 seconds: float) -> float:
+    """Propagation throughput: ``|S| * steps / wall-clock``."""
+    steps = int(registry_row.get("propagation_steps", 0))
+    if seconds <= 0.0 or not steps:
+        return 0.0
+    return round(num_states * steps / seconds, 1)
 
 
 #: Converged self-reference (set in main); errors are measured against
@@ -125,8 +146,12 @@ def bench_table2(setting, epsilons) -> list:
         engine = SericolaEngine(epsilon=epsilon)
         vector, seconds = _captured(
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
+        registry = _registry_row(engine.name)
         rows.append(_row(vector[initial], seconds, epsilon=epsilon,
-                         **_registry_row(engine.name)))
+                         kernel_backend=engine.kernel,
+                         states_per_second=_states_rate(
+                             model.num_states, registry, seconds),
+                         **registry))
         print(f"  sericola eps={epsilon:.0e}: {rows[-1]['value']:.8f} "
               f"({seconds:.3f}s)")
     return rows
@@ -140,9 +165,14 @@ def bench_table3(setting, phase_counts) -> list:
         engine = ErlangEngine(phases=phases)
         vector, seconds = _captured(
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
+        registry = _registry_row(engine.name)
         rows.append(_row(vector[initial], seconds, phases=phases,
                          expanded_states=engine.last_expanded_size,
-                         **_registry_row(engine.name)))
+                         kernel_backend=engine.kernel,
+                         states_per_second=_states_rate(
+                             engine.last_expanded_size or model.num_states,
+                             registry, seconds),
+                         **registry))
         print(f"  erlang k={phases:4d}: {rows[-1]['value']:.8f} "
               f"({seconds:.3f}s)")
     return rows
@@ -156,9 +186,13 @@ def bench_table4(setting, steps) -> list:
         engine = DiscretizationEngine(step=step)
         vector, seconds = _captured(
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
+        registry = _registry_row(engine.name)
         rows.append(_row(vector[initial], seconds,
                          step=f"1/{int(round(1 / step))}",
-                         **_registry_row(engine.name)))
+                         kernel_backend=engine.kernel,
+                         states_per_second=_states_rate(
+                             model.num_states, registry, seconds),
+                         **registry))
         print(f"  discretization d=1/{int(round(1 / step)):3d}: "
               f"{rows[-1]['value']:.8f} ({seconds:.3f}s)")
     return rows

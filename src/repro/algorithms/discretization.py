@@ -72,7 +72,8 @@ from __future__ import annotations
 import time
 from fractions import Fraction
 from math import gcd
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 import scipy.sparse as sp
@@ -86,6 +87,10 @@ from repro.algorithms.erlang import (zero_reward_bound_sweep,
 from repro.algorithms.parallel import threaded_map
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, RewardError
+from repro.kernels import KernelBackend, get_backend, note_selected
+from repro.kernels.base import (DiscretizationPropagator, ShiftPlan,
+                                StepOperator, build_shift_plan,
+                                make_operator)
 from repro.obs import OBS
 from repro.obs import span as obs_span
 
@@ -126,6 +131,11 @@ class DiscretizationEngine(JointEngine):
         Include the ``k = 0`` cell in the final sum.  The paper's
         formula starts at ``k = 1``; the zero cell only carries mass
         when the initial state has reward zero.
+    kernel:
+        Kernel backend running the propagation loops (a name, a
+        :class:`~repro.kernels.KernelBackend` instance, or ``None``
+        for the default selection order -- see ``docs/KERNELS.md``).
+        Backends agree to ``<= 1e-12``.
     """
 
     name = "discretization"
@@ -143,7 +153,8 @@ class DiscretizationEngine(JointEngine):
                  step: float = 1.0 / 64,
                  underflow: str = "drop",
                  include_zero: bool = True,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 kernel: Union[str, KernelBackend, None] = None):
         if step <= 0.0:
             raise NumericalError(f"step must be positive, got {step}")
         if underflow not in ("drop", "clamp"):
@@ -155,9 +166,14 @@ class DiscretizationEngine(JointEngine):
         # Thread fan-out knob for the sweep path only; it never changes
         # results, so it stays out of the cache token.
         self.max_workers = max_workers
+        self._backend = get_backend(kernel)
+        self.kernel = self._backend.name
 
     def _cache_token(self) -> Tuple:
-        return (self.name, self.step, self.underflow, self.include_zero)
+        # Backends agree only to <= 1e-12, so the resolved backend name
+        # keys the result cache alongside the numeric knobs.
+        return (self.name, self.step, self.underflow, self.include_zero,
+                self.kernel)
 
     # ------------------------------------------------------------------
     # batched (all initial states) path
@@ -179,58 +195,35 @@ class DiscretizationEngine(JointEngine):
         if t == 0.0:
             return indicator.astype(float).copy()
         if r == 0.0:
-            return zero_reward_bound_vector(model, t, indicator)
-        num_steps, num_cells, rho, stay = self._setup(model, t, r)
+            return zero_reward_bound_vector(model, t, indicator,
+                                            kernel=self._backend)
+        num_steps, num_cells, rho, _ = self._setup(model, t, r)
         n = model.num_states
-        groups = dict(self._step_groups(model, self.step))
-        base = groups.pop(0, sp.csr_matrix((n, n)))
-        impulse_items = [(cells, group)
-                         for cells, group in sorted(groups.items())
-                         if cells < num_cells]
-        reward_groups = [(int(value), np.flatnonzero(rho == value))
-                         for value in np.unique(rho)]
-        clamp = self.underflow == "clamp"
 
         start = 0 if self.include_zero else 1
         weight = np.zeros((n, num_cells))
         weight[:, start:] = indicator[:, None]
 
+        stepper = self._propagator(model, num_cells, weight,
+                                   forward=False)
+        note_selected(self.name, self.kernel)
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
-                                             engine=self.name)
+                                             engine=self.name,
+                                             kernel=self.kernel)
                        if OBS.enabled else None)
         with obs_span("adjoint_propagation", steps=num_steps - 1,
                       cells=num_cells):
             for _ in range(num_steps - 1):
-                # Adjoint of (stay + R^T d + impulse shifts) on the state
-                # axis: the *untransposed* grouped rate matrices, with the
-                # impulse displacement now shifting *down* in reward.
+                # Adjoint step: the fused (diag(stay) + R d) product plus
+                # the impulse shift-down products, then the per-state
+                # reward shift down (see repro.kernels.base).
                 if matvec_hist is not None:
                     block_start = time.perf_counter()
-                merged = stay[:, None] * weight + base @ weight
-                for cells, group in impulse_items:
-                    down = np.zeros_like(weight)
-                    down[:, :num_cells - cells] = weight[:, cells:]
-                    merged += group @ down
+                weight = stepper.step()
                 if matvec_hist is not None:
                     matvec_hist.observe(time.perf_counter() - block_start)
-                self.stats.matvec_count += 1 + len(impulse_items)
+                self.stats.matvec_count += stepper.products_per_step
                 self.stats.propagation_steps += 1
-                # Adjoint of the per-state reward displacement: shift down
-                # by rho(s); under "clamp" the out-of-range cells fold into
-                # cell 0 (the adjoint of duplicating cell 0 upward).
-                shifted = np.zeros_like(weight)
-                for value, states in reward_groups:
-                    if value == 0:
-                        shifted[states] = merged[states]
-                    elif value < num_cells:
-                        shifted[states, :num_cells - value] = \
-                            merged[states, value:]
-                        if clamp:
-                            shifted[states, 0] += \
-                                merged[states, :value].sum(axis=1)
-                    elif clamp:
-                        shifted[states, 0] = merged[states, :].sum(axis=1)
-                weight = shifted
 
         result = np.zeros(n)
         in_range = rho < num_cells
@@ -250,7 +243,8 @@ class DiscretizationEngine(JointEngine):
         return DiscretizationEngine(step=self.step / 2.0,
                                     underflow=self.underflow,
                                     include_zero=self.include_zero,
-                                    max_workers=self.max_workers)
+                                    max_workers=self.max_workers,
+                                    kernel=self._backend)
 
     def _compute_joint_interval(self, model, t, r, indicator):
         """Certified enclosure from the ``d`` vs ``d/2`` bracket.
@@ -326,7 +320,8 @@ class DiscretizationEngine(JointEngine):
                 return None, stats
             if reward == 0.0:
                 rows = zero_reward_bound_sweep(model, positive_times,
-                                               indicator, stats=stats)
+                                               indicator, stats=stats,
+                                               kernel=self._backend)
                 return rows, stats
             return self._adjoint_column(model, positive_times, reward,
                                         indicator, stats), stats
@@ -360,7 +355,7 @@ class DiscretizationEngine(JointEngine):
         only the last one.
         """
         t_max = max(times)
-        num_steps, num_cells, rho, stay = self._setup(model, t_max, r)
+        num_steps, num_cells, rho, _ = self._setup(model, t_max, r)
         n = model.num_states
         d = self.step
         snapshots: Dict[int, List[int]] = {}
@@ -371,23 +366,19 @@ class DiscretizationEngine(JointEngine):
                     f"time bound {t} is not a multiple of the step {d}")
             snapshots.setdefault(int(round(steps)), []).append(index)
 
-        groups = dict(self._step_groups(model, d))
-        base = groups.pop(0, sp.csr_matrix((n, n)))
-        impulse_items = [(cells, group)
-                         for cells, group in sorted(groups.items())
-                         if cells < num_cells]
-        reward_groups = [(int(value), np.flatnonzero(rho == value))
-                         for value in np.unique(rho)]
-        clamp = self.underflow == "clamp"
         in_range = rho < num_cells
 
         start = 0 if self.include_zero else 1
         weight = np.zeros((n, num_cells))
         weight[:, start:] = indicator[:, None]
 
+        stepper = self._propagator(model, num_cells, weight,
+                                   forward=False)
+        note_selected(self.name, self.kernel)
         out = np.empty((len(times), n))
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
-                                             engine=self.name)
+                                             engine=self.name,
+                                             kernel=self.kernel)
                        if OBS.enabled else None)
         with obs_span("adjoint_column", r=float(r), steps=num_steps,
                       points=len(times)):
@@ -402,28 +393,11 @@ class DiscretizationEngine(JointEngine):
                     break
                 if matvec_hist is not None:
                     block_start = time.perf_counter()
-                merged = stay[:, None] * weight + base @ weight
-                for cells, group in impulse_items:
-                    down = np.zeros_like(weight)
-                    down[:, :num_cells - cells] = weight[:, cells:]
-                    merged += group @ down
+                weight = stepper.step()
                 if matvec_hist is not None:
                     matvec_hist.observe(time.perf_counter() - block_start)
-                stats.matvec_count += 1 + len(impulse_items)
+                stats.matvec_count += stepper.products_per_step
                 stats.propagation_steps += 1
-                shifted = np.zeros_like(weight)
-                for value, states in reward_groups:
-                    if value == 0:
-                        shifted[states] = merged[states]
-                    elif value < num_cells:
-                        shifted[states, :num_cells - value] = \
-                            merged[states, value:]
-                        if clamp:
-                            shifted[states, 0] += \
-                                merged[states, :value].sum(axis=1)
-                    elif clamp:
-                        shifted[states, 0] = merged[states, :].sum(axis=1)
-                weight = shifted
         return out
 
     def final_density_batch(self,
@@ -441,49 +415,36 @@ class DiscretizationEngine(JointEngine):
         the ``(|S|, batch * (R+1))`` flattened tensor instead of
         ``len(initial_states)`` independent runs.
         """
-        num_steps, num_cells, rho, stay = self._setup(model, t, r)
+        num_steps, num_cells, rho, _ = self._setup(model, t, r)
         n = model.num_states
         if initial_states is None:
             inits = np.arange(n)
         else:
             inits = np.asarray([int(s) for s in initial_states])
         batch = len(inits)
-        groups = dict(self._transposed_step_groups(model, self.step))
-        transposed = groups.pop(0, sp.csr_matrix((n, n)))
-        impulse_items = [(cells, group)
-                         for cells, group in sorted(groups.items())
-                         if cells < num_cells]
-        reward_groups = [(int(value), np.flatnonzero(rho == value))
-                         for value in np.unique(rho)]
-        clamp = self.underflow == "clamp"
 
         density = np.zeros((n, batch, num_cells))
         for index, s0 in enumerate(inits):
             if rho[s0] < num_cells:
                 density[s0, index, rho[s0]] = 1.0 / self.step
 
-        for _ in range(num_steps - 1):
-            shifted = np.zeros_like(density)
-            for value, states in reward_groups:
-                if value == 0:
-                    shifted[states] = density[states]
-                elif value < num_cells:
-                    shifted[states, :, value:] = density[states, :, :-value]
-                    if clamp:
-                        shifted[states, :, :value] = \
-                            density[states, :, 0][..., None]
-                elif clamp:
-                    shifted[states, :, :] = density[states, :, 0][..., None]
-            flat = shifted.reshape(n, batch * num_cells)
-            density = (stay[:, None, None] * shifted
-                       + (transposed @ flat).reshape(n, batch, num_cells))
-            for cells, group in impulse_items:
-                extra = np.zeros_like(shifted)
-                extra[:, :, cells:] = shifted[:, :, :num_cells - cells]
-                density += (group @ extra.reshape(n, batch * num_cells)
-                            ).reshape(n, batch, num_cells)
-            self.stats.matvec_count += 1 + len(impulse_items)
-            self.stats.propagation_steps += 1
+        stepper = self._propagator(model, num_cells, density,
+                                   forward=True, batch=batch)
+        note_selected(self.name, self.kernel)
+        matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
+                                             engine=self.name,
+                                             kernel=self.kernel)
+                       if OBS.enabled else None)
+        with obs_span("final_density_batch", steps=num_steps - 1,
+                      batch=batch, cells=num_cells):
+            for _ in range(num_steps - 1):
+                if matvec_hist is not None:
+                    block_start = time.perf_counter()
+                density = stepper.step()
+                if matvec_hist is not None:
+                    matvec_hist.observe(time.perf_counter() - block_start)
+                self.stats.matvec_count += stepper.products_per_step
+                self.stats.propagation_steps += 1
         return np.ascontiguousarray(density.transpose(1, 0, 2))
 
     # ------------------------------------------------------------------
@@ -500,7 +461,8 @@ class DiscretizationEngine(JointEngine):
         if t == 0.0:
             return float(indicator[initial_state])
         if r == 0.0:
-            exact = zero_reward_bound_vector(model, t, indicator)
+            exact = zero_reward_bound_vector(model, t, indicator,
+                                             kernel=self._backend)
             return float(exact[initial_state])
         density = self.final_density(model, t, r, initial_state)
         start = 0 if self.include_zero else 1
@@ -519,11 +481,8 @@ class DiscretizationEngine(JointEngine):
         bound is discarded on the fly; it never flows back because
         displacements are non-negative).
         """
-        num_steps, num_cells, rho, stay = self._setup(model, t, r)
+        num_steps, num_cells, rho, _ = self._setup(model, t, r)
         d = self.step
-
-        groups = dict(self._transposed_step_groups(model, d))
-        transposed = groups.pop(0, sp.csr_matrix((model.num_states,) * 2))
 
         density = np.zeros((model.num_states, num_cells))
         start_cell = min(int(rho[initial_state]), num_cells - 1)
@@ -534,35 +493,72 @@ class DiscretizationEngine(JointEngine):
         else:
             # The very first interval already exceeds the bound.
             return density
-        reward_groups = [(value, np.flatnonzero(rho == value))
-                         for value in np.unique(rho)]
 
+        stepper = self._propagator(model, num_cells, density,
+                                   forward=True)
         for _ in range(num_steps - 1):
-            shifted = np.zeros_like(density)
-            for value, states in reward_groups:
-                if value == 0:
-                    shifted[states] = density[states]
-                elif value < num_cells:
-                    shifted[states, value:] = density[states, :-value]
-                    if self.underflow == "clamp":
-                        shifted[states, :value] = (
-                            density[states, 0][:, None])
-                # value >= num_cells: every displacement exceeds the
-                # bound; the row contributes nothing (mass discarded).
-                elif self.underflow == "clamp":
-                    shifted[states, :] = density[states, 0][:, None]
-            density = stay[:, None] * shifted + transposed @ shifted
-            for cells, group in groups.items():
-                if cells >= num_cells:
-                    continue  # the impulse alone exceeds the bound
-                extra = np.zeros_like(shifted)
-                extra[:, cells:] = shifted[:, :num_cells - cells]
-                density += group @ extra
+            density = stepper.step()
         return density
 
     # ------------------------------------------------------------------
     # shared setup and cached step matrices
     # ------------------------------------------------------------------
+
+    def _propagator(self, model: MarkovRewardModel, num_cells: int,
+                    state: np.ndarray, forward: bool,
+                    batch: Optional[int] = None
+                    ) -> DiscretizationPropagator:
+        """A kernel stepper over the caller-seeded *state* array."""
+        operator, impulses = self._step_operators(model, forward)
+        live = [(cells, op) for cells, op in impulses
+                if cells < num_cells]
+        plan = self._shift_plan(model)
+        if batch is not None:
+            plan = plan.expand(batch)
+        return DiscretizationPropagator(
+            self._backend, operator, live, plan,
+            self.underflow == "clamp", state, forward)
+
+    def _shift_plan(self, model: MarkovRewardModel) -> ShiftPlan:
+        """The per-state reward displacement plan, cached per
+        ``(model, step)`` -- the former per-call ``np.unique(rho)`` +
+        ``np.flatnonzero`` group scan."""
+        key = ("disc-shift-plan", model.fingerprint, self.step)
+        plan = matrix_cache.get(key)
+        if plan is None:
+            plan = build_shift_plan(
+                np.round(model.rewards).astype(np.int64))
+            matrix_cache.put(key, plan)
+        return plan
+
+    def _step_operators(self, model: MarkovRewardModel, forward: bool
+                        ) -> Tuple[StepOperator,
+                                   Tuple[Tuple[int, StepOperator], ...]]:
+        """The fused per-step operator plus the impulse operators.
+
+        ``diag(1 - E d)`` folds into the ``d``-scaled rate matrix, so
+        the former ``stay[:, None] * W + base @ W`` pair becomes one
+        product per step.  Cached per ``(model, step, orientation)``;
+        the representation (dense vs CSR) never depends on the kernel
+        backend, so the cache is backend-neutral.
+        """
+        key = ("disc-step-op", model.fingerprint, self.step,
+               bool(forward))
+        cached = matrix_cache.get(key)
+        if cached is None:
+            groups = dict(self._transposed_step_groups(model, self.step)
+                          if forward
+                          else self._step_groups(model, self.step))
+            n = model.num_states
+            base = groups.pop(0, sp.csr_matrix((n, n)))
+            stay = 1.0 - model.exit_rates * self.step
+            fused = (base + sp.diags(stay, 0, format="csr")).tocsr()
+            operator = make_operator(fused)
+            impulses = tuple((int(cells), make_operator(matrix))
+                             for cells, matrix in sorted(groups.items()))
+            cached = (operator, impulses)
+            matrix_cache.put(key, cached)
+        return cached
 
     def _setup(self, model: MarkovRewardModel, t: float, r: float
                ) -> Tuple[int, int, np.ndarray, np.ndarray]:

@@ -52,9 +52,10 @@ from repro.algorithms.parallel import threaded_map
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
+from repro.kernels import KernelBackend, get_backend, note_selected
 from repro.obs import span as obs_span
 from repro.numerics.uniformization import (
-    transient_distribution, transient_target_probabilities,
+    Kernel, transient_distribution, transient_target_probabilities,
     transient_target_probabilities_sweep)
 
 
@@ -169,6 +170,9 @@ class ErlangEngine(JointEngine):
         Truncation error bound of the transient analysis on the
         expanded chain (this part of the computation is "exact" up to
         epsilon; the model-level Erlang error dominates).
+    kernel:
+        Kernel backend labelling and running the propagation loops
+        (see ``docs/KERNELS.md``); backends agree to ``<= 1e-12``.
     """
 
     name = "erlang"
@@ -183,7 +187,8 @@ class ErlangEngine(JointEngine):
                    "1/phases"))
 
     def __init__(self, phases: int = 64, epsilon: float = 1e-12,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 kernel: Kernel = None):
         if phases < 1:
             raise NumericalError(f"need at least one phase, got {phases}")
         self.phases = int(phases)
@@ -193,9 +198,11 @@ class ErlangEngine(JointEngine):
         #: Not part of the cache token: it never changes values.
         self.max_workers = max_workers
         self.last_expanded_size: Optional[int] = None
+        self._backend: KernelBackend = get_backend(kernel)
+        self.kernel = self._backend.name
 
     def _cache_token(self) -> Tuple:
-        return (self.name, self.phases, self.epsilon)
+        return (self.name, self.phases, self.epsilon, self.kernel)
 
     def _compute_joint_vector(self,
                               model: MarkovRewardModel,
@@ -212,12 +219,15 @@ class ErlangEngine(JointEngine):
             return indicator.astype(float).copy()
         if r == 0.0:
             return zero_reward_bound_vector(model, t, indicator,
-                                            epsilon=self.epsilon)
+                                            epsilon=self.epsilon,
+                                            kernel=self._backend)
         expanded, barrier = erlang_expanded_model(model, r, self.phases)
         self.last_expanded_size = expanded.num_states
+        note_selected(self.name, self.kernel)
         vector = transient_target_probabilities(
             expanded, t, self._expanded_indicator(expanded, indicator),
-            epsilon=self.epsilon, stats=self.stats)
+            epsilon=self.epsilon, stats=self.stats,
+            kernel=self._backend, metrics_engine=self.name)
         # Initial phase is 0: read off the (s, 0) entries.
         result = vector[0:barrier:self.phases].copy()
         return np.clip(result, 0.0, 1.0)
@@ -255,14 +265,16 @@ class ErlangEngine(JointEngine):
             if reward == 0.0:
                 rows = zero_reward_bound_sweep(model, times, indicator,
                                                epsilon=self.epsilon,
-                                               stats=stats)
+                                               stats=stats,
+                                               kernel=self._backend)
                 return rows, stats, None
             expanded, barrier = erlang_expanded_model(model, reward,
                                                       self.phases)
             rows = transient_target_probabilities_sweep(
                 expanded, times,
                 self._expanded_indicator(expanded, indicator),
-                epsilon=self.epsilon, stats=stats)
+                epsilon=self.epsilon, stats=stats,
+                kernel=self._backend, metrics_engine=self.name)
             column_values = np.clip(
                 rows[:, 0:barrier:self.phases], 0.0, 1.0)
             return column_values, stats, expanded.num_states
@@ -294,7 +306,8 @@ class ErlangEngine(JointEngine):
         """The ``2k`` companion used by the interval bracket."""
         return ErlangEngine(phases=self.phases * 2,
                             epsilon=self.epsilon,
-                            max_workers=self.max_workers)
+                            max_workers=self.max_workers,
+                            kernel=self._backend)
 
     def _compute_joint_interval(self, model, t, r, indicator):
         """Certified enclosure from the ``k`` vs ``2k`` bracket.
@@ -350,7 +363,8 @@ class ErlangEngine(JointEngine):
         indicator = np.asarray(indicator, dtype=float)
         if r == 0.0:
             exact = zero_reward_bound_vector(model, t, indicator,
-                                             epsilon=self.epsilon)
+                                             epsilon=self.epsilon,
+                                             kernel=self._backend)
             return float(exact[int(initial_state)])
         expanded, barrier = erlang_expanded_model(model, r, self.phases)
         k = self.phases
@@ -358,7 +372,8 @@ class ErlangEngine(JointEngine):
         alpha[int(initial_state) * k] = 1.0
         distribution = transient_distribution(
             expanded, t, initial=alpha, epsilon=self.epsilon,
-            steady_state_detection=False)
+            steady_state_detection=False, kernel=self._backend,
+            metrics_engine=self.name)
         mass = 0.0
         for s in np.flatnonzero(indicator):
             mass += indicator[s] * float(
@@ -412,7 +427,8 @@ def _zero_reward_restriction(model: MarkovRewardModel,
 def zero_reward_bound_vector(model: MarkovRewardModel,
                              t: float,
                              indicator: np.ndarray,
-                             epsilon: float = 1e-12) -> np.ndarray:
+                             epsilon: float = 1e-12,
+                             kernel: Kernel = None) -> np.ndarray:
     """Exact ``Pr{Y_t <= 0, X_t in S'}`` for every initial state.
 
     Transient analysis of the restricted chain of
@@ -424,14 +440,16 @@ def zero_reward_bound_vector(model: MarkovRewardModel,
         return np.asarray(indicator, dtype=float).copy()
     restricted, masked = _zero_reward_restriction(model, indicator)
     return transient_target_probabilities(
-        restricted, t, masked, epsilon=epsilon)[:model.num_states]
+        restricted, t, masked, epsilon=epsilon,
+        kernel=kernel)[:model.num_states]
 
 
 def zero_reward_bound_sweep(model: MarkovRewardModel,
                             times: Sequence[float],
                             indicator: np.ndarray,
                             epsilon: float = 1e-12,
-                            stats=None) -> np.ndarray:
+                            stats=None,
+                            kernel: Kernel = None) -> np.ndarray:
     """:func:`zero_reward_bound_vector` for many time bounds at once.
 
     One restricted chain and one shared backward series cover every
@@ -444,7 +462,7 @@ transient_target_probabilities_sweep`); returns the ``(len(times),
     restricted, masked = _zero_reward_restriction(model, indicator)
     rows = transient_target_probabilities_sweep(
         restricted, times, masked, epsilon=epsilon,
-        stats=stats)[:, :model.num_states]
+        stats=stats, kernel=kernel)[:, :model.num_states]
     for i, t in enumerate(times):
         if t == 0.0:
             rows[i] = np.asarray(indicator, dtype=float)

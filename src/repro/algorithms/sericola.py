@@ -54,37 +54,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
-from scipy.signal import lfilter
 
 from repro.algorithms.base import (EngineCapabilities, JointEngine,
                                    register_engine)
+from repro.algorithms.cache import matrix_cache
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
+from repro.kernels import KernelBackend, get_backend, note_selected
+from repro.kernels.base import (SericolaPlan, SericolaSeries,
+                                build_sericola_plan)
 from repro.numerics.poisson import poisson_weights, right_truncation_point
+from repro.numerics.uniformization import Kernel, uniformized_operator
 from repro.obs import OBS
 from repro.obs import span as obs_span
-
-
-def _first_order_scan(stay: float, move: float, inputs: np.ndarray,
-                      start: np.ndarray) -> np.ndarray:
-    """Evaluate ``y[k] = stay * y[k-1] + move * inputs[k]`` along axis 0.
-
-    ``y[-1] = start``; returns the array of ``y[0..K-1]`` where ``K``
-    is ``inputs.shape[0]``.  This is a first-order IIR filter, so it
-    runs in C via :func:`scipy.signal.lfilter` -- the inner loop of
-    Sericola's recursion collapses to one filter call per
-    (level, reward-class) pair.
-    """
-    if inputs.shape[0] == 0:
-        return inputs.copy()
-    initial = (stay * start)[None, :]
-    output, _ = lfilter([move], [1.0, -stay], inputs, axis=0,
-                        zi=initial)
-    return output
 
 
 @dataclass(frozen=True)
@@ -117,6 +102,9 @@ class SericolaEngine(JointEngine):
         to shorten the series" -- and pays off when the time bound is
         large relative to the mixing time.  The detection threshold is
         tied to ``epsilon``, so the overall accuracy is preserved.
+    kernel:
+        Kernel backend running the triangular ``b(h,n,k)`` update (see
+        ``docs/KERNELS.md``); backends agree to ``<= 1e-12``.
     """
 
     name = "sericola"
@@ -131,7 +119,8 @@ class SericolaEngine(JointEngine):
     def __init__(self,
                  epsilon: float = 1e-9,
                  uniformization_rate: Optional[float] = None,
-                 steady_state_detection: bool = False):
+                 steady_state_detection: bool = False,
+                 kernel: Kernel = None):
         if not 0.0 < epsilon < 1.0:
             raise NumericalError(
                 f"epsilon must be in (0, 1), got {epsilon}")
@@ -139,10 +128,12 @@ class SericolaEngine(JointEngine):
         self.uniformization_rate = uniformization_rate
         self.steady_state_detection = bool(steady_state_detection)
         self.last_diagnostics: Optional[SericolaDiagnostics] = None
+        self._backend: KernelBackend = get_backend(kernel)
+        self.kernel = self._backend.name
 
     def _cache_token(self):
         return (self.name, self.epsilon, self.uniformization_rate,
-                self.steady_state_detection)
+                self.steady_state_detection, self.kernel)
 
     # ------------------------------------------------------------------
 
@@ -199,7 +190,8 @@ class SericolaEngine(JointEngine):
         return SericolaEngine(
             epsilon=max(self.epsilon * 1e-2, self.MIN_EPSILON),
             uniformization_rate=self.uniformization_rate,
-            steady_state_detection=self.steady_state_detection)
+            steady_state_detection=self.steady_state_detection,
+            kernel=self._backend)
 
     def complementary_vector(self,
                              model: MarkovRewardModel,
@@ -256,7 +248,8 @@ class SericolaEngine(JointEngine):
             # Y_0 = 0 <= r: nothing exceeds the bound.
             return indicator.astype(float).copy(), np.zeros(n_states)
 
-        levels = np.unique(rho)
+        plan = self._sericola_plan(model)
+        levels = plan.levels
         m = len(levels) - 1
         if r >= levels[-1] * t:
             # Y_t <= rho_max * t surely: the bound never binds.
@@ -278,27 +271,25 @@ class SericolaEngine(JointEngine):
             # No transitions at all: Y_t = rho(i) * t deterministically.
             exceeding = indicator * (rho * t > r).astype(float)
             return indicator - exceeding, exceeding
-        matrix = model.uniformized_dtmc_matrix(rate)
+        operator = uniformized_operator(model, rate)
+        note_selected(self.name, self.kernel)
         q = rate * t
         depth = right_truncation_point(q, self.epsilon)
         psi = poisson_weights(q, epsilon=min(self.epsilon * 1e-3, 1e-14))
 
-        # Row classes per level g: "high" rows have rho(i) >= rho_g.
-        high_masks = [rho >= levels[g] for g in range(1, m + 1)]
-
-        # b[g-1] holds the (n+1) x n_states array of b(g, n, k) rows.
-        b: List[np.ndarray] = []
-        u = indicator.astype(float).copy()  # u = P^n 1_{S'}
-        for g in range(1, m + 1):
-            row = np.where(high_masks[g - 1], indicator, 0.0)
-            b.append(row.reshape(1, n_states).copy())
+        # The preallocated series state: one (|S|, depth+1, m) buffer
+        # pair whose n*m-column prefix feeds a single block product per
+        # step (see repro.kernels.base.SericolaSeries).
+        series = SericolaSeries(self._backend, operator,
+                                indicator.astype(float), plan, depth)
+        u = series.u  # u = P^n 1_{S'}
 
         # Binomial mixture weights w[k] = binom(n,k) x^k (1-x)^{n-k}.
         mix = np.array([1.0])
 
         complementary = np.zeros(n_states)
         joint = np.zeros(n_states)
-        inner = mix @ b[h - 1]
+        inner = series.inner(h, mix)
         weight = psi.probability(0)
         complementary += weight * inner
         joint += weight * (u - inner)
@@ -309,12 +300,10 @@ class SericolaEngine(JointEngine):
         previous_u = u
         steps_used = depth
 
-        # Rows with the same reward share the recursion coefficients,
-        # so each (level, reward-class) pair is one first-order linear
-        # recurrence along k -- evaluated in C by scipy.signal.lfilter.
-        reward_classes = [np.flatnonzero(rho == level)
-                          for level in levels]
-
+        matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
+                                             engine=self.name,
+                                             kernel=self.kernel)
+                       if OBS.enabled else None)
         record = None
         tail = None
         if OBS.enabled:
@@ -324,15 +313,23 @@ class SericolaEngine(JointEngine):
             tail = psi.tail_from()
         with obs_span("series", depth=depth) as series_span:
             for n in range(1, depth + 1):
-                u, b = self._advance_series(matrix, u, b, levels,
-                                            reward_classes)
+                if matvec_hist is not None:
+                    block_start = time.perf_counter()
+                series.advance()
+                if matvec_hist is not None:
+                    matvec_hist.observe(time.perf_counter() - block_start)
+                # Two operator applications per step: the u matvec and
+                # the one stacked-levels block product.
+                self.stats.matvec_count += 2
+                self.stats.propagation_steps += 1
+                u = series.u
                 # Binomial weights:
                 # w(n,k) = (1-x) w(n-1,k) + x w(n-1,k-1).
                 new_mix = np.zeros(n + 1)
                 new_mix[:n] = (1.0 - x) * mix
                 new_mix[1:] += x * mix
                 mix = new_mix
-                inner = mix @ b[h - 1]
+                inner = series.inner(h, mix)
                 weight = psi.probability(n)
                 if weight > 0.0:
                     complementary += weight * inner
@@ -379,73 +376,17 @@ class SericolaEngine(JointEngine):
         return (np.clip(joint, 0.0, 1.0),
                 np.clip(complementary, 0.0, 1.0))
 
-    def _advance_series(self, matrix: sp.spmatrix, u: np.ndarray,
-                        b: List[np.ndarray], levels: np.ndarray,
-                        reward_classes: List[np.ndarray]):
-        """One step ``n-1 -> n`` of the column-aggregate recursion.
-
-        *u* is ``P^{n-1} 1_{S'}`` and ``b[g-1]`` the ``n x |S|`` array
-        of ``b(g, n-1, k)`` rows; returns the advanced ``(u, b)`` pair.
-        The step is independent of the query's ``(t, r)`` -- only the
-        Poisson and binomial weights applied to the returned vectors
-        depend on the bounds -- which is what the sweep path exploits
-        to serve a whole grid from one series.
-        """
-        m = len(b)
-        n = b[0].shape[0]
-        n_states = b[0].shape[1]
-        if OBS.enabled:
-            start = time.perf_counter()
-            u_next = matrix @ u
-            # P applied to every b(g, n-1, k) at once: rows k, states j.
-            pb = [(matrix @ b[g].T).T for g in range(m)]
-            OBS.metrics.histogram(
-                "repro_matvec_block_seconds",
-                engine=self.name).observe(time.perf_counter() - start)
-        else:
-            u_next = matrix @ u
-            # P applied to every b(g, n-1, k) at once: rows k, states j.
-            pb = [(matrix @ b[g].T).T for g in range(m)]
-        self.stats.matvec_count += 1 + m
-        self.stats.propagation_steps += 1
-        new_b = [np.empty((n + 1, n_states)) for _ in range(m)]
-
-        # Pass 1 (ascending g): high rows, ascending k.
-        for g in range(1, m + 1):
-            lo_level, hi_level = levels[g - 1], levels[g]
-            boundary = u_next if g == 1 else new_b[g - 2][n]
-            for j in range(g, m + 1):
-                rows = reward_classes[j]
-                if rows.size == 0:
-                    continue
-                value = levels[j]
-                stay = (value - hi_level) / (value - lo_level)
-                move = (hi_level - lo_level) / (value - lo_level)
-                start = boundary[rows]
-                new_b[g - 1][0, rows] = start
-                new_b[g - 1][1:, rows] = _first_order_scan(
-                    stay, move, pb[g - 1][:n, rows], start)
-
-        # Pass 2 (descending g): low rows, descending k.
-        for g in range(m, 0, -1):
-            lo_level, hi_level = levels[g - 1], levels[g]
-            for j in range(0, g):
-                rows = reward_classes[j]
-                if rows.size == 0:
-                    continue
-                value = levels[j]
-                stay = (lo_level - value) / (hi_level - value)
-                move = (hi_level - lo_level) / (hi_level - value)
-                if g == m:
-                    tail = np.zeros(rows.size)
-                else:
-                    tail = new_b[g][0, rows]
-                new_b[g - 1][n, rows] = tail
-                scanned = _first_order_scan(
-                    stay, move, pb[g - 1][:n, rows][::-1], tail)
-                new_b[g - 1][:n, rows] = scanned[::-1]
-
-        return u_next, new_b
+    @staticmethod
+    def _sericola_plan(model: MarkovRewardModel) -> SericolaPlan:
+        """The reward-level structure (levels, per-level state classes),
+        cached per model fingerprint -- the former per-call
+        ``np.unique(rho)`` + ``np.flatnonzero`` scans."""
+        key = ("sericola-plan", model.fingerprint)
+        plan = matrix_cache.get(key)
+        if plan is None:
+            plan = build_sericola_plan(model.rewards)
+            matrix_cache.put(key, plan)
+        return plan
 
     # ------------------------------------------------------------------
     # shared-prefix (t, r) grid path
@@ -478,7 +419,8 @@ class SericolaEngine(JointEngine):
         n_states = model.num_states
         rho = model.rewards
         self._check_capabilities(model)
-        levels = np.unique(rho)
+        plan = self._sericola_plan(model)
+        levels = plan.levels
         m = len(levels) - 1
         rate = (model.max_exit_rate if self.uniformization_rate is None
                 else float(self.uniformization_rate))
@@ -514,7 +456,8 @@ class SericolaEngine(JointEngine):
                     })
         if not transient_points and not normal_points:
             return grid
-        matrix = model.uniformized_dtmc_matrix(rate)
+        operator = uniformized_operator(model, rate)
+        note_selected(self.name, self.kernel)
         trans = [(i, j, poisson_weights(
                      rate * t, epsilon=min(self.epsilon * 1e-3, 1e-14)))
                  for i, j, t in transient_points]
@@ -522,18 +465,22 @@ class SericolaEngine(JointEngine):
         depth_b = max((p["depth"] for p in normal_points), default=0)
         depth_u = max([depth_b] + [psi.right for _, _, psi in trans])
 
-        u = indicator.astype(float).copy()
+        series: Optional[SericolaSeries] = None
         if normal_points:
-            high_masks = [rho >= levels[g] for g in range(1, m + 1)]
-            b = [np.where(high_masks[g - 1], indicator,
-                          0.0).reshape(1, n_states).copy()
-                 for g in range(1, m + 1)]
-            reward_classes = [np.flatnonzero(rho == level)
-                              for level in levels]
+            series = SericolaSeries(self._backend, operator,
+                                    indicator.astype(float), plan,
+                                    depth_b)
+            u = series.u
             mixes = {p["x"]: np.array([1.0]) for p in normal_points}
             for p in normal_points:
-                inner = mixes[p["x"]] @ b[p["h"] - 1]
+                inner = series.inner(p["h"], mixes[p["x"]])
                 p["joint"] = p["psi"].probability(0) * (u - inner)
+        else:
+            u = indicator.astype(float).copy()
+        matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
+                                             engine=self.name,
+                                             kernel=self.kernel)
+                       if OBS.enabled else None)
         for i, j, psi in trans:
             if psi.left == 0:
                 grid[i, j] += psi.weights[0] * u
@@ -549,9 +496,16 @@ class SericolaEngine(JointEngine):
         with obs_span("series_sweep", depth=depth_u,
                       points=len(normal_points) + len(trans)):
             for n in range(1, depth_u + 1):
-                if n <= depth_b:
-                    u, b = self._advance_series(matrix, u, b, levels,
-                                                reward_classes)
+                if n <= depth_b and series is not None:
+                    if matvec_hist is not None:
+                        block_start = time.perf_counter()
+                    series.advance()
+                    if matvec_hist is not None:
+                        matvec_hist.observe(
+                            time.perf_counter() - block_start)
+                    self.stats.matvec_count += 2
+                    self.stats.propagation_steps += 1
+                    u = series.u
                     for x, mix in mixes.items():
                         new_mix = np.zeros(n + 1)
                         new_mix[:n] = (1.0 - x) * mix
@@ -560,14 +514,14 @@ class SericolaEngine(JointEngine):
                     for p in normal_points:
                         if n > p["depth"]:
                             continue
-                        inner = mixes[p["x"]] @ b[p["h"] - 1]
+                        inner = series.inner(p["h"], mixes[p["x"]])
                         weight = p["psi"].probability(n)
                         if weight > 0.0:
                             p["joint"] += weight * (u - inner)
                 else:
                     # Past every series depth only the transient
                     # accumulations remain: advance u alone.
-                    u = matrix @ u
+                    u = operator.matvec(u)
                     self.stats.matvec_count += 1
                     self.stats.propagation_steps += 1
                 if record is not None:
@@ -604,7 +558,7 @@ class SericolaEngine(JointEngine):
                 else float(self.uniformization_rate))
         if rate == 0.0 or t == 0.0:
             return indicator.astype(float).copy()
-        matrix = model.uniformized_dtmc_matrix(rate)
+        operator = uniformized_operator(model, rate)
         psi = poisson_weights(rate * t,
                               epsilon=min(self.epsilon * 1e-3, 1e-14))
         vector = indicator.astype(float).copy()
@@ -615,7 +569,7 @@ class SericolaEngine(JointEngine):
                     result += psi.weights[k - psi.left] * vector
                 if k == psi.right:
                     break
-                vector = matrix @ vector
+                vector = operator.matvec(vector)
                 self.stats.matvec_count += 1
                 self.stats.propagation_steps += 1
         return result

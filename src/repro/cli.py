@@ -60,6 +60,14 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--engine", default="sericola",
                        choices=available_engines(),
                        help="engine for time+reward bounded until")
+    check.add_argument("--kernel", default=None,
+                       choices=("numpy", "numba"),
+                       help="propagation kernel backend (default: the "
+                            "REPRO_KERNEL env var, else numba when "
+                            "importable, else numpy)")
+    check.add_argument("-v", "--verbose", action="store_true",
+                       help="print the resolved engine and kernel "
+                            "backend before checking")
     check.add_argument("--initial-state", type=int, default=0,
                        help="0-based initial state index")
     check.add_argument("--epsilon", type=float, default=1e-9,
@@ -103,6 +111,10 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--engine", default="sericola",
                          choices=available_engines(),
                          help="engine for time+reward bounded until")
+    profile.add_argument("--kernel", default=None,
+                         choices=("numpy", "numba"),
+                         help="propagation kernel backend (default: "
+                              "REPRO_KERNEL env var, else auto)")
     profile.add_argument("--initial-state", type=int, default=0,
                          help="0-based initial state index")
     profile.add_argument("--epsilon", type=float, default=1e-9,
@@ -123,6 +135,11 @@ def _build_parser() -> argparse.ArgumentParser:
     case.add_argument("--epsilon", type=float, default=1e-8)
     case.add_argument("--erlang-phases", type=int, default=256)
     case.add_argument("--step", type=float, default=1.0 / 64)
+    case.add_argument("--kernel", default=None,
+                      choices=("numpy", "numba"),
+                      help="propagation kernel backend for all three "
+                           "engines (default: REPRO_KERNEL env var, "
+                           "else auto)")
     case.set_defaults(handler=_cmd_case_study)
 
     lint = sub.add_parser(
@@ -184,6 +201,14 @@ def _resolve_formula(formula: str, model_path: str) -> str:
     return formula
 
 
+def _make_engine(args):
+    """The engine named by ``--engine``, on the ``--kernel`` backend."""
+    kernel = getattr(args, "kernel", None)
+    if args.engine == "sericola":
+        return SericolaEngine(epsilon=args.epsilon, kernel=kernel)
+    return get_engine(args.engine, kernel=kernel)
+
+
 def _emit_capture(args) -> None:
     """Write/print what ``OBS.capture`` collected, per the flags."""
     from repro.obs import OBS
@@ -201,8 +226,10 @@ def _emit_capture(args) -> None:
 
 def _cmd_check(args) -> int:
     model = _load_model(args.model, args.initial_state)
-    engine = get_engine(args.engine) if args.engine != "sericola" \
-        else SericolaEngine(epsilon=args.epsilon)
+    engine = _make_engine(args)
+    if args.verbose:
+        print(f"engine: {engine.name}  kernel: "
+              f"{getattr(engine, 'kernel', 'n/a')}", file=sys.stderr)
     checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
     formula = _resolve_formula(args.formula, args.model)
     if not (args.profile or args.trace_out):
@@ -281,8 +308,7 @@ def _cmd_profile(args) -> int:
                                   write_jsonl)
 
     model = _load_model(args.model, args.initial_state)
-    engine = get_engine(args.engine) if args.engine != "sericola" \
-        else SericolaEngine(epsilon=args.epsilon)
+    engine = _make_engine(args)
     checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
     formula = _resolve_formula(args.formula, args.model)
     with OBS.capture():
@@ -294,6 +320,8 @@ def _cmd_profile(args) -> int:
         print(json.dumps(span_shape(list(OBS.tracer.roots)), indent=2))
         return 0
     print(f"{result}")
+    print(f"engine: {engine.name}  kernel: "
+          f"{getattr(engine, 'kernel', 'n/a')}")
     print()
     print(render_profile(OBS.tracer, OBS.metrics, OBS.convergence),
           end="")
@@ -333,9 +361,12 @@ def _cmd_case_study(args) -> int:
           "tolerance, see EXPERIMENTS.md):")
     phi = "call_idle | doze"
     engines = [
-        ("sericola", SericolaEngine(epsilon=args.epsilon)),
-        ("erlang", ErlangEngine(phases=args.erlang_phases)),
-        ("discretization", DiscretizationEngine(step=args.step)),
+        ("sericola", SericolaEngine(epsilon=args.epsilon,
+                                    kernel=args.kernel)),
+        ("erlang", ErlangEngine(phases=args.erlang_phases,
+                                kernel=args.kernel)),
+        ("discretization", DiscretizationEngine(step=args.step,
+                                                kernel=args.kernel)),
     ]
     from repro.logic.parser import parse_formula
     q3 = parse_formula(adhoc.Q3)

@@ -1,0 +1,155 @@
+"""Batched propagation kernels behind interchangeable backends.
+
+The kernels package owns the inner propagation steps of all three
+engines (discretisation adjoint/forward sweeps, the Sericola
+``b(h, n, k)`` series advance, uniformisation matvecs) behind a
+stable array-in/array-out API defined in :mod:`repro.kernels.base`.
+
+Backend selection order (first match wins):
+
+1. an explicit ``kernel=`` argument on the engine (a backend name or a
+   :class:`KernelBackend` instance);
+2. the ``REPRO_KERNEL`` environment variable (``numpy`` or ``numba``);
+3. auto-detection: ``numba`` when importable, else ``numpy``.
+
+The numba backend is import-guarded: requesting it without numba
+installed emits a :class:`RuntimeWarning` and falls back to the pure
+NumPy backend, so the package runs unchanged without numba.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import warnings
+from typing import Dict, List, Optional, Union
+
+from repro.errors import NumericalError
+from repro.kernels.base import (
+    DenseOperator,
+    DiscretizationPropagator,
+    KernelBackend,
+    SericolaPlan,
+    SericolaSeries,
+    ShiftPlan,
+    SparseOperator,
+    StepOperator,
+    build_sericola_plan,
+    build_shift_plan,
+    make_operator,
+)
+
+ENV_VAR = "REPRO_KERNEL"
+
+_BACKEND_NAMES = ("numpy", "numba")
+
+_instances: Dict[str, KernelBackend] = {}
+_numba_available: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """True when the numba package can be imported (memoised)."""
+    global _numba_available
+    if _numba_available is None:
+        try:
+            _numba_available = importlib.util.find_spec("numba") is not None
+        except (ImportError, ValueError):
+            _numba_available = False
+    return _numba_available
+
+
+def available_backends() -> List[str]:
+    """Names of the backends usable in this environment."""
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    return names
+
+
+def reset_backend_cache() -> None:
+    """Forget memoised backend instances and availability (tests)."""
+    global _numba_available
+    _numba_available = None
+    _instances.clear()
+
+
+def default_backend_name() -> str:
+    """Resolve the backend name when no explicit ``kernel=`` is given."""
+    env = os.environ.get(ENV_VAR)
+    if env:
+        name = env.strip().lower()
+        if name in _BACKEND_NAMES:
+            return name
+        warnings.warn(
+            f"ignoring unknown {ENV_VAR}={env!r}; "
+            f"expected one of {', '.join(_BACKEND_NAMES)}",
+            RuntimeWarning, stacklevel=2)
+    return "numba" if numba_available() else "numpy"
+
+
+def get_backend(name: Union[str, KernelBackend, None] = None
+                ) -> KernelBackend:
+    """Return a kernel backend instance.
+
+    Accepts a backend name (``"numpy"``/``"numba"``), an existing
+    :class:`KernelBackend` instance (returned as-is), or ``None`` for
+    the default selection order documented in the module docstring.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None:
+        name = default_backend_name()
+    name = name.strip().lower()
+    if name not in _BACKEND_NAMES:
+        raise NumericalError(
+            f"unknown kernel backend {name!r}; "
+            f"available: {', '.join(available_backends())}")
+    cached = _instances.get(name)
+    if cached is not None:
+        return cached
+    backend: KernelBackend
+    if name == "numba":
+        try:
+            from repro.kernels.numba_backend import NumbaBackend
+        except ImportError:
+            warnings.warn(
+                "kernel backend 'numba' requested but numba is not "
+                "importable; falling back to the pure-NumPy backend",
+                RuntimeWarning, stacklevel=2)
+            return get_backend("numpy")
+        backend = NumbaBackend()
+    else:
+        from repro.kernels.numpy_backend import NumpyBackend
+        backend = NumpyBackend()
+    _instances[name] = backend
+    return backend
+
+
+def note_selected(engine: str, backend: str) -> None:
+    """Record the backend an engine run selected (obs gauge)."""
+    from repro.obs import OBS
+    if OBS.enabled:
+        OBS.metrics.gauge("repro_kernel_selected",
+                          engine=engine, kernel=backend).set(1.0)
+
+
+__all__ = [
+    "ENV_VAR",
+    "DenseOperator",
+    "DiscretizationPropagator",
+    "KernelBackend",
+    "SericolaPlan",
+    "SericolaSeries",
+    "ShiftPlan",
+    "SparseOperator",
+    "StepOperator",
+    "available_backends",
+    "build_sericola_plan",
+    "build_shift_plan",
+    "default_backend_name",
+    "get_backend",
+    "make_operator",
+    "note_selected",
+    "numba_available",
+    "reset_backend_cache",
+]

@@ -13,7 +13,10 @@ These provide controlled workloads for the scaling/ablation studies:
   processing capacity;
 * :func:`workstation_cluster` -- a small dependable cluster with
   workstations and a repair unit, in the spirit of the case study of
-  [Haverkort, Hermanns, Katoen 2000] cited by the paper.
+  [Haverkort, Hermanns, Katoen 2000] cited by the paper;
+* :func:`grid_mrm` -- a ``width x height`` lattice random walk whose
+  state count scales quadratically (the |S| ~ 10^4 workload of
+  ``benchmarks/bench_kernels.py``).
 """
 
 from __future__ import annotations
@@ -159,3 +162,48 @@ def workstation_cluster(workstations: int,
             builder.add_transition(k, k + 1, repair_rate)
     builder.add_transition(0, 1, repair_rate)
     return builder.build(initial_state=workstations)
+
+
+def grid_mrm(width: int,
+             height: int,
+             rate: float = 1.0,
+             reward_levels: Sequence[float] = (0.0, 1.0, 2.0)
+             ) -> MarkovRewardModel:
+    """A ``width x height`` lattice random walk with banded rewards.
+
+    State ``(x, y)`` moves to its four lattice neighbours at the given
+    *rate* (edges simply have fewer neighbours), so the generator is a
+    sparse banded matrix with at most four off-diagonals -- the shape
+    the kernel backends are benchmarked on.  The reward rate of a
+    state is ``reward_levels[x % len(reward_levels)]``, which gives
+    every reward class a macroscopic share of the state space.  The
+    corner ``(0, 0)`` is labelled ``start`` and carries the initial
+    probability; the opposite corner is labelled ``goal``.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("grid_mrm needs width >= 1 and height >= 1")
+    builder = ModelBuilder()
+    levels = list(reward_levels)
+    for y in range(height):
+        for x in range(width):
+            labels = []
+            if x == 0 and y == 0:
+                labels.append("start")
+            if x == width - 1 and y == height - 1:
+                labels.append("goal")
+            builder.add_state(f"g{x}_{y}", labels=labels,
+                              reward=float(levels[x % len(levels)]))
+
+    def index(x: int, y: int) -> int:
+        return y * width + x
+
+    for y in range(height):
+        for x in range(width):
+            here = index(x, y)
+            if x + 1 < width:
+                builder.add_transition(here, index(x + 1, y), rate)
+                builder.add_transition(index(x + 1, y), here, rate)
+            if y + 1 < height:
+                builder.add_transition(here, index(x, y + 1), rate)
+                builder.add_transition(index(x, y + 1), here, rate)
+    return builder.build(initial_state=0)

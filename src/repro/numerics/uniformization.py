@@ -20,15 +20,55 @@ where ``T_k`` is the Poisson tail ``sum_{j>=k} psi_j(lambda t)``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.ctmc.ctmc import CTMC
 from repro.errors import NumericalError
+from repro.kernels import KernelBackend, get_backend
+from repro.kernels.base import StepOperator, make_operator
 from repro.numerics.poisson import poisson_weights
 from repro.obs import OBS
 from repro.obs import span as obs_span
+
+Kernel = Union[str, KernelBackend, None]
+
+
+def uniformized_operator(model: CTMC, rate: float,
+                         transposed: bool = False) -> StepOperator:
+    """The uniformised DTMC matrix wrapped as a cached step operator.
+
+    Small chains go dense (one BLAS call per series term), large ones
+    stay CSR -- see :func:`repro.kernels.make_operator`.  Cached per
+    ``(model, rate, orientation)`` in the shared matrix cache; the
+    representation never depends on the kernel backend, so operators
+    are shared across engines and backends.
+    """
+    # Imported lazily: repro.algorithms imports this module during its
+    # own package initialisation.
+    from repro.algorithms.cache import matrix_cache
+    key = ("uniform-op-T" if transposed else "uniform-op",
+           model.fingerprint, float(rate))
+    operator = matrix_cache.get(key)
+    if operator is None:
+        matrix = model.uniformized_dtmc_matrix(rate)
+        if transposed:
+            matrix = matrix.transpose().tocsr()
+        operator = make_operator(matrix)
+        matrix_cache.put(key, operator)
+    return operator
+
+
+def _step_histogram(backend: KernelBackend,
+                    metrics_engine: Optional[str]):
+    """The kernel-labelled per-step histogram, or ``None``."""
+    if not OBS.enabled or metrics_engine is None:
+        return None
+    return OBS.metrics.histogram("repro_matvec_block_seconds",
+                                 engine=metrics_engine,
+                                 kernel=backend.name)
 
 
 def _start_record(weights, **attributes):
@@ -67,7 +107,10 @@ def transient_distribution(model: CTMC,
                            epsilon: float = 1e-12,
                            uniformization_rate: Optional[float] = None,
                            steady_state_detection: bool = True,
-                           stats=None) -> np.ndarray:
+                           stats=None,
+                           kernel: Kernel = None,
+                           metrics_engine: Optional[str] = None
+                           ) -> np.ndarray:
     """The state distribution ``pi(t)`` of *model* at time *t*.
 
     Parameters
@@ -104,7 +147,8 @@ def transient_distribution(model: CTMC,
             else float(uniformization_rate))
     if rate == 0.0:
         return vector  # no transitions at all
-    matrix = model.uniformized_dtmc_matrix(rate)
+    operator = uniformized_operator(model, rate)
+    hist = _step_histogram(get_backend(kernel), metrics_engine)
     weights = poisson_weights(rate * t, epsilon=epsilon)
 
     result = np.zeros_like(vector)
@@ -120,7 +164,11 @@ def transient_distribution(model: CTMC,
                 record.record(k, weights.remaining_after(k, tail))
             if k == weights.right:
                 break
-            next_vector = vector @ matrix
+            if hist is not None:
+                block_start = time.perf_counter()
+            next_vector = operator.rmatvec(vector)
+            if hist is not None:
+                hist.observe(time.perf_counter() - block_start)
             if stats is not None:
                 stats.matvec_count += 1
                 stats.propagation_steps += 1
@@ -141,7 +189,10 @@ def transient_target_probabilities(model: CTMC,
                                    indicator: Sequence[float],
                                    epsilon: float = 1e-12,
                                    uniformization_rate: Optional[float] = None,
-                                   stats=None) -> np.ndarray:
+                                   stats=None,
+                                   kernel: Kernel = None,
+                                   metrics_engine: Optional[str] = None
+                                   ) -> np.ndarray:
     """Per-initial-state probability of being in a target set at time *t*.
 
     Returns the vector ``v`` with ``v[i] = Pr{X_t in S' | X_0 = i}``
@@ -168,7 +219,8 @@ def transient_target_probabilities(model: CTMC,
             else float(uniformization_rate))
     if t == 0.0 or rate == 0.0:
         return vector
-    matrix = model.uniformized_dtmc_matrix(rate)
+    operator = uniformized_operator(model, rate)
+    hist = _step_histogram(get_backend(kernel), metrics_engine)
     weights = poisson_weights(rate * t, epsilon=epsilon)
     result = np.zeros_like(vector)
     record, tail = _start_record(weights, variant="backward")
@@ -181,7 +233,11 @@ def transient_target_probabilities(model: CTMC,
                 record.record(k, weights.remaining_after(k, tail))
             if k == weights.right:
                 break
-            vector = matrix @ vector
+            if hist is not None:
+                block_start = time.perf_counter()
+            vector = operator.matvec(vector)
+            if hist is not None:
+                hist.observe(time.perf_counter() - block_start)
             if stats is not None:
                 stats.matvec_count += 1
                 stats.propagation_steps += 1
@@ -194,7 +250,10 @@ def transient_target_probabilities_sweep(model: CTMC,
                                          epsilon: float = 1e-12,
                                          uniformization_rate:
                                          Optional[float] = None,
-                                         stats=None) -> np.ndarray:
+                                         stats=None,
+                                         kernel: Kernel = None,
+                                         metrics_engine: Optional[str]
+                                         = None) -> np.ndarray:
     """:func:`transient_target_probabilities` for a whole list of
     time bounds from **one** shared backward series.
 
@@ -231,7 +290,8 @@ def transient_target_probabilities_sweep(model: CTMC,
             weight_rows.append(poisson_weights(rate * t, epsilon=epsilon))
     depth = max((w.right for w in weight_rows if w is not None),
                 default=0)
-    matrix = model.uniformized_dtmc_matrix(rate)
+    operator = uniformized_operator(model, rate)
+    hist = _step_histogram(get_backend(kernel), metrics_engine)
     with obs_span("uniformisation_series", depth=depth,
                   kind="backward_sweep", points=len(times)):
         for k in range(depth + 1):
@@ -242,7 +302,11 @@ def transient_target_probabilities_sweep(model: CTMC,
                                    * vector)
             if k == depth:
                 break
-            vector = matrix @ vector
+            if hist is not None:
+                block_start = time.perf_counter()
+            vector = operator.matvec(vector)
+            if hist is not None:
+                hist.observe(time.perf_counter() - block_start)
             if stats is not None:
                 stats.matvec_count += 1
                 stats.propagation_steps += 1
@@ -271,7 +335,7 @@ def transient_matrix(model: CTMC,
         return np.eye(n)
     # Propagate the transposed block: column i holds the distribution
     # from initial state i, and pi' = pi P transposes to P^T pi^T.
-    transposed = model.uniformized_dtmc_matrix(rate).transpose().tocsr()
+    operator = uniformized_operator(model, rate, transposed=True)
     weights = poisson_weights(rate * t, epsilon=epsilon)
     block = np.eye(n)
     result = np.zeros((n, n))
@@ -282,7 +346,7 @@ def transient_matrix(model: CTMC,
                 result += weights.weights[k - weights.left] * block
             if k == weights.right:
                 break
-            block = transposed @ block
+            block = operator.matmat(block)
             if stats is not None:
                 stats.matvec_count += 1
                 stats.propagation_steps += 1
@@ -327,7 +391,7 @@ def expected_accumulated_reward(model,
         # No transitions: the chain sits in its initial distribution.
         return float(model.initial_distribution @ rho) * t
 
-    matrix = model.uniformized_dtmc_matrix(rate)
+    operator = uniformized_operator(model, rate)
     # Make the relative error of the integral match epsilon: the
     # integral is <= t * max(rho), and each tail coefficient errs by at
     # most the Poisson tail mass.
@@ -348,7 +412,7 @@ def expected_accumulated_reward(model,
                 tail = float(tails[idx]) if idx < len(tails) else 0.0
             total += tail * float(vector @ rho)
             if k < weights.right:
-                vector = vector @ matrix
+                vector = operator.rmatvec(vector)
                 if stats is not None:
                     stats.matvec_count += 1
                     stats.propagation_steps += 1
