@@ -1,54 +1,85 @@
 #!/usr/bin/env python
-"""Kernel-backend scaling benchmark: states/second on a lattice MRM.
+"""Kernel-backend scaling benchmark: states/second across workloads.
 
 Times the Tijms-Veldman discretisation propagation -- the hot loop
-owned by :mod:`repro.kernels` -- on the ``grid_mrm`` lattice workload
-(|S| = 10^4 by default) once per available kernel backend and reports
-the propagation throughput in states/second plus the cross-backend
-agreement.  With numba installed this is the apples-to-apples
-numpy-vs-numba comparison behind the BENCH numbers; without it the
-script still times the pure-NumPy backend.
+owned by :mod:`repro.kernels` -- on three synthetic workloads from
+:mod:`repro.models.workloads`:
 
-The model is deliberately banded-sparse (four lattice neighbours per
-state) with column-striped reward levels, so each propagation step is
-one CSR-times-dense-block product plus the reward shift -- exactly the
-work :class:`repro.kernels.base.DiscretizationPropagator` fuses.
+``grid``
+    banded lattice (four neighbours per state, striped rewards) at
+    |S| = 10^4 and |S| ~ 10^5 -- the apples-to-apples backend shootout;
+``crowd``
+    the replica-symmetric ring at |S| = 10^5 -- sparse-backend
+    territory (and the lumping pre-pass's canonical workload);
+``virus``
+    the SIR epidemic at |S| ~ 10^5 -- irregular sparsity.
+
+Each (workload, backend) cell reports propagation throughput in
+states/second, the value computed, and the process peak RSS.  Cells
+whose *dense* step operator would exceed the memory budget
+(``--dense-budget-mb``, default 512) are skipped with an explicit
+``oom_skipped`` status instead of thrashing or dying on allocation:
+a dense |S| x |S| float64 operator at |S| = 10^5 is 80 GB.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_kernels.py           # 100x100
-    PYTHONPATH=src python benchmarks/bench_kernels.py --quick   # 32x32
+    PYTHONPATH=src python benchmarks/bench_kernels.py             # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick     # CI
+    PYTHONPATH=src python benchmarks/bench_kernels.py --min-speedup 3
 
-Exit code 0 when every pair of backends agrees to within 1e-12,
-1 otherwise.
+Exit code 0 when every pair of completed backends agrees to within
+1e-12 (and, with ``--min-speedup X``, when the sparse backend is at
+least ``X`` times faster than the dense baseline on every cell where
+both ran); 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.algorithms import DiscretizationEngine, clear_caches
 from repro.kernels import available_backends
-from repro.models.workloads import grid_mrm
+from repro.models.workloads import crowd_mrm, grid_mrm, virus_mrm
+from repro.obs import peak_rss_bytes
 
 #: Maximum |value| disagreement tolerated between any two backends.
 TOLERANCE = 1e-12
 
-FULL = {"width": 100, "height": 100, "t": 2.0, "r": 8.0,
-        "step": 1.0 / 16, "repeats": 3}
-QUICK = {"width": 32, "height": 32, "t": 2.0, "r": 8.0,
-         "step": 1.0 / 16, "repeats": 3}
+#: Default dense-operator memory budget in MiB; a cell whose |S| x |S|
+#: float64 step operator would not fit is skipped, not attempted.
+DEFAULT_DENSE_BUDGET_MB = 512
+
+#: (name, model factory, t, r, step, repeats).  The large cells use a
+#: coarser discretisation so the full grid stays minutes, not hours.
+FULL = [
+    ("grid-10k", lambda: grid_mrm(100, 100), 2.0, 8.0, 1.0 / 16, 3),
+    ("grid-100k", lambda: grid_mrm(316, 316), 1.0, 4.0, 1.0 / 8, 2),
+    ("crowd-100k", lambda: crowd_mrm(200, 500), 1.0, 4.0, 1.0 / 8, 2),
+    ("virus-100k", lambda: virus_mrm(450), 1.0, 4.0, 1.0 / 8, 2),
+]
+QUICK = [
+    ("grid-4k", lambda: grid_mrm(64, 64), 2.0, 8.0, 1.0 / 16, 2),
+    ("grid-100k", lambda: grid_mrm(316, 316), 1.0, 4.0, 1.0 / 8, 1),
+    ("crowd-100k", lambda: crowd_mrm(200, 500), 1.0, 4.0, 1.0 / 8, 1),
+]
+
+
+def dense_operator_bytes(num_states: int) -> int:
+    """Memory the dense backend's |S| x |S| step operator needs."""
+    return num_states * num_states * 8
 
 
 def time_backend(backend: str, model, t: float, r: float, step: float,
                  indicator: np.ndarray, initial: int,
-                 repeats: int) -> Tuple[float, float, float]:
-    """``(value, best_seconds, states_per_second)`` for one backend."""
+                 repeats: int) -> Dict[str, object]:
+    """One completed BENCH cell for *backend* on *model*."""
     engine = DiscretizationEngine(step=step, kernel=backend)
     clear_caches()
     # Warm-up run: builds the cached step operators and shift plans
@@ -66,50 +97,134 @@ def time_backend(backend: str, model, t: float, r: float, step: float,
                 f"{backend}: non-deterministic result "
                 f"({again!r} vs {value!r})")
     steps = int(round(t / step))
-    return value, best, model.num_states * steps / best
+    return {
+        "kernel_backend": backend,
+        "status": "ok",
+        "value": float(value),
+        "seconds": round(best, 4),
+        "states_per_second": round(model.num_states * steps / best, 1),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def run_workload(name: str, factory, t: float, r: float, step: float,
+                 repeats: int, backends: List[str],
+                 dense_budget_bytes: int) -> List[Dict[str, object]]:
+    """All backend cells for one workload (skipped cells included)."""
+    model = factory()
+    # Target the zero-reward states: reachable within the time bound
+    # from the start state, so the computed probability is macroscopic
+    # and backend disagreement shows up.
+    indicator = (np.asarray(model.rewards) == 0.0).astype(float)
+    if not indicator.any():
+        indicator = np.ones(model.num_states)
+    steps = int(round(t / step))
+    print(f"{name}: {model.num_states} states, "
+          f"{model.num_transitions} transitions, t={t:g}, r={r:g}, "
+          f"d={step:g} ({steps} steps)")
+    rows: List[Dict[str, object]] = []
+    for backend in backends:
+        need = dense_operator_bytes(model.num_states)
+        if backend == "dense" and need > dense_budget_bytes:
+            print(f"  {backend:6s} skipped: dense operator needs "
+                  f"{need / 2 ** 20:,.0f} MiB "
+                  f"(budget {dense_budget_bytes / 2 ** 20:,.0f} MiB)")
+            rows.append({"kernel_backend": backend,
+                         "status": "oom_skipped",
+                         "required_bytes": need,
+                         "budget_bytes": dense_budget_bytes})
+            continue
+        row = time_backend(backend, model, t, r, step, indicator, 0,
+                           repeats)
+        rows.append(row)
+        print(f"  {backend:6s} {row['seconds']:8.3f}s  "
+              f"{row['states_per_second']:14,.0f} states/s  "
+              f"value={row['value']:.12f}  "
+              f"rss={row['peak_rss_bytes'] / 2 ** 20:,.0f}MiB")
+    for row in rows:
+        row["workload"] = name
+        row["states"] = model.num_states
+    return rows
+
+
+def check_agreement(name: str, rows: List[Dict[str, object]]) -> bool:
+    """Print and verify the cross-backend value spread for one cell."""
+    completed = [row for row in rows if row["status"] == "ok"]
+    if len(completed) < 2:
+        return True
+    values = [row["value"] for row in completed]
+    spread = max(values) - min(values)
+    print(f"  {name}: cross-backend max|diff| = {spread:.3e} "
+          f"(tolerance {TOLERANCE:g})")
+    if spread > TOLERANCE:
+        print(f"  {name}: BACKENDS DISAGREE", file=sys.stderr)
+        return False
+    return True
+
+
+def check_speedup(name: str, rows: List[Dict[str, object]],
+                  min_speedup: float) -> bool:
+    """Verify sparse >= min_speedup x dense where both completed."""
+    by_backend = {row["kernel_backend"]: row for row in rows
+                  if row["status"] == "ok"}
+    sparse, dense = by_backend.get("sparse"), by_backend.get("dense")
+    if sparse is None or dense is None:
+        return True
+    ratio = (float(sparse["states_per_second"])
+             / float(dense["states_per_second"]))
+    print(f"  {name}: sparse vs dense {ratio:.2f}x "
+          f"(required {min_speedup:g}x)")
+    if ratio < min_speedup:
+        print(f"  {name}: SPARSE TOO SLOW", file=sys.stderr)
+        return False
+    return True
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="32x32 grid for CI smoke (< 10 s)")
+                        help="small grid + one 10^5 sparse cell for "
+                             "CI smoke (< 60 s)")
+    parser.add_argument("--dense-budget-mb", type=float,
+                        default=DEFAULT_DENSE_BUDGET_MB, metavar="MB",
+                        help="skip dense cells whose |S|x|S| operator "
+                             "exceeds this budget (default "
+                             f"{DEFAULT_DENSE_BUDGET_MB} MiB)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the sparse backend is at "
+                             "least X times faster (states/s) than "
+                             "the dense baseline on every cell where "
+                             "both ran")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the cells as JSON rows")
     arguments = parser.parse_args(argv)
     config = QUICK if arguments.quick else FULL
-
-    model = grid_mrm(config["width"], config["height"])
-    # Target the zero-reward stripe (every third column): reachable
-    # within the time bound from the start corner, so the computed
-    # probability is macroscopic and backend disagreement shows up.
-    indicator = (model.rewards == 0.0).astype(float)
-    steps = int(round(config["t"] / config["step"]))
-    print(f"grid {config['width']}x{config['height']} "
-          f"({model.num_states} states, {model.num_transitions} "
-          f"transitions), t={config['t']}, r={config['r']}, "
-          f"d={config['step']:g} ({steps} steps)")
+    budget = int(arguments.dense_budget_mb * 2 ** 20)
 
     backends = available_backends()
-    results: List[Tuple[str, float, float, float]] = []
-    for backend in backends:
-        value, seconds, rate = time_backend(
-            backend, model, config["t"], config["r"], config["step"],
-            indicator, 0, config["repeats"])
-        results.append((backend, value, seconds, rate))
-        print(f"  {backend:6s} {seconds:8.3f}s  "
-              f"{rate:14,.0f} states/s  value={value:.12f}")
+    all_rows: List[Dict[str, object]] = []
+    failures = 0
+    for name, factory, t, r, step, repeats in config:
+        rows = run_workload(name, factory, t, r, step, repeats,
+                            backends, budget)
+        all_rows.extend(rows)
+        if not check_agreement(name, rows):
+            failures += 1
+        if arguments.min_speedup is not None and not check_speedup(
+                name, rows, arguments.min_speedup):
+            failures += 1
 
-    if len(results) > 1:
-        values = [value for _, value, _, _ in results]
-        spread = max(values) - min(values)
-        baseline = results[0][2]
-        for backend, _, seconds, _ in results[1:]:
-            print(f"  {results[0][0]} -> {backend} speedup: "
-                  f"{baseline / seconds:.2f}x")
-        print(f"  cross-backend max|diff| = {spread:.3e} "
-              f"(tolerance {TOLERANCE:g})")
-        if spread > TOLERANCE:
-            print("  BACKENDS DISAGREE", file=sys.stderr)
-            return 1
-    return 0
+    skipped = [row for row in all_rows if row["status"] == "oom_skipped"]
+    if skipped:
+        print(f"{len(skipped)} dense cell(s) oom_skipped under the "
+              f"{budget / 2 ** 20:,.0f} MiB budget")
+    if arguments.output is not None:
+        arguments.output.write_text(
+            json.dumps({"schema": 4, "kernel_cells": all_rows},
+                       indent=2) + "\n")
+        print(f"wrote {arguments.output}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -5,10 +5,11 @@ Aligns the table rows of two benchmark runs by their sweep key
 (``epsilon`` / ``phases`` / ``step``) and reports, per row, the value
 drift and the wall-clock ratio, plus the headline sections (batched
 speedup, cache behaviour, total runtime).  Handles schema 1
-(pre-registry), schema 2 (registry counters) and schema 3 (kernel
-backend + throughput) files -- the row keys compared here exist in
-all three, and schema-3-only fields (``kernel_backend``,
-``states_per_second``) are simply reported when present.
+(pre-registry), schema 2 (registry counters), schema 3 (kernel
+backend + throughput) and schema 4 (peak RSS) files -- the row keys
+compared here exist in all four, and newer-schema-only fields
+(``kernel_backend``, ``states_per_second``, ``peak_rss_bytes``) are
+simply reported when present.
 
 Usage::
 
@@ -93,6 +94,9 @@ def compare_table(name: str, key: str,
                 too_slow += 1
         kernel = after.get("kernel_backend")
         suffix = f"  kernel={kernel}" if kernel else ""
+        rss = after.get("peak_rss_bytes")
+        if rss:
+            suffix += f"  rss={rss / 2 ** 20:.0f}MiB"
         lines.append(
             f"  {key}={row_key}: value {before['value']:.8f} -> "
             f"{after['value']:.8f} (|d|={delta:.2e}){marker}  "

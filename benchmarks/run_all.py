@@ -53,8 +53,11 @@ REFERENCE = adhoc.Q3_REFERENCE_VALUE
 #: ``benchmarks/compare.py``.  3 = table rows additionally record the
 #: propagation kernel backend (``kernel_backend``, see
 #: :mod:`repro.kernels`) and the throughput ``states_per_second``;
-#: matvec timing histograms are keyed by ``(engine, kernel)``.
-SCHEMA_VERSION = 3
+#: matvec timing histograms are keyed by ``(engine, kernel)``.  4 =
+#: rows carry ``peak_rss_bytes`` (the process high-water mark sampled
+#: by the engines' observability wrapper) and ``kernel_backend``
+#: reports the *resolved* backend when the engine ran on ``auto``.
+SCHEMA_VERSION = 4
 
 QUICK = {
     "epsilons": [1e-2, 1e-4, 1e-6],
@@ -109,6 +112,9 @@ def _registry_row(engine_name: str) -> dict:
     fox = snapshot.get("repro_fox_glynn_seconds", {}).get("")
     if fox and fox.get("count"):
         row["fox_glynn_seconds"] = round(float(fox["sum"]), 6)
+    rss = snapshot.get("repro_peak_rss_bytes", {}).get("")
+    if rss:
+        row["peak_rss_bytes"] = int(rss)
     return row
 
 
@@ -148,7 +154,7 @@ def bench_table2(setting, epsilons) -> list:
             lambda: engine.joint_probability_vector(model, t, r, [goal]))
         registry = _registry_row(engine.name)
         rows.append(_row(vector[initial], seconds, epsilon=epsilon,
-                         kernel_backend=engine.kernel,
+                         kernel_backend=engine.last_kernel or engine.kernel,
                          states_per_second=_states_rate(
                              model.num_states, registry, seconds),
                          **registry))
@@ -168,7 +174,7 @@ def bench_table3(setting, phase_counts) -> list:
         registry = _registry_row(engine.name)
         rows.append(_row(vector[initial], seconds, phases=phases,
                          expanded_states=engine.last_expanded_size,
-                         kernel_backend=engine.kernel,
+                         kernel_backend=engine.last_kernel or engine.kernel,
                          states_per_second=_states_rate(
                              engine.last_expanded_size or model.num_states,
                              registry, seconds),
@@ -189,7 +195,7 @@ def bench_table4(setting, steps) -> list:
         registry = _registry_row(engine.name)
         rows.append(_row(vector[initial], seconds,
                          step=f"1/{int(round(1 / step))}",
-                         kernel_backend=engine.kernel,
+                         kernel_backend=engine.last_kernel or engine.kernel,
                          states_per_second=_states_rate(
                              model.num_states, registry, seconds),
                          **registry))

@@ -46,7 +46,7 @@ import numpy as np
 from repro.algorithms.cache import EngineStats, joint_cache
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, WorkerError
-from repro.obs import OBS, record_engine_stats
+from repro.obs import OBS, peak_rss_bytes, record_engine_stats
 from repro.obs import span as obs_span
 
 #: Per-thread nesting depth of :meth:`JointEngine._observed` blocks;
@@ -155,6 +155,32 @@ class JointEngine(ABC):
     #: Short identifier used by :func:`get_engine` and the CLI.
     name: str = "abstract"
 
+    #: Name of the kernel backend the most recent computation resolved
+    #: to.  Engines whose ``kernel`` knob is the ``"auto"`` sentinel
+    #: pick a backend per model (:func:`repro.kernels.select_for_model`)
+    #: at their entry points; this records the outcome for diagnostics
+    #: (``repro check -v``, benchmark rows).
+    last_kernel: Optional[str] = None
+
+    def _backend_for(self, model: MarkovRewardModel):
+        """The kernel backend to run *model* with.
+
+        A statically pinned backend (explicit ``kernel=`` knob or the
+        ``REPRO_KERNEL`` environment variable, resolved at engine
+        construction into ``self._backend``) wins; otherwise the
+        model-aware auto-selection picks per model.  The choice is a
+        deterministic function of the model's dimensions, so cache
+        entries stored under the engine's ``"auto"`` token never mix
+        backends for the same model fingerprint.
+        """
+        backend = getattr(self, "_backend", None)
+        if backend is None:
+            from repro.kernels import select_for_model
+            backend = select_for_model(model.num_states,
+                                       model.num_transitions)
+        self.last_kernel = backend.name
+        return backend
+
     @classmethod
     def capabilities(cls) -> EngineCapabilities:
         """The engine's static capability declaration.
@@ -235,6 +261,10 @@ class JointEngine(ABC):
                     delta = {key: after[key] - before[key]
                              for key in after}
                     record_engine_stats(OBS.metrics, self.name, delta)
+                rss = peak_rss_bytes()
+                if rss:
+                    OBS.metrics.gauge(
+                        "repro_peak_rss_bytes").update_max(rss)
                 if histogram is not None:
                     OBS.metrics.histogram(
                         histogram, engine=self.name).observe(elapsed)
@@ -710,12 +740,14 @@ class JointEngine(ABC):
         if r < 0.0:
             raise NumericalError(f"reward bound must be >= 0, got {r}")
         indicator = np.zeros(model.num_states)
-        for s in target:
-            s = int(s)
-            if not 0 <= s < model.num_states:
+        states = np.fromiter((int(s) for s in target), dtype=np.int64)
+        if states.size:
+            bad = (states < 0) | (states >= model.num_states)
+            if bad.any():
+                s = int(states[np.argmax(bad)])
                 raise NumericalError(
                     f"target state {s} outside the state space")
-            indicator[s] = 1.0
+            indicator[states] = 1.0
         return indicator
 
     def __repr__(self) -> str:

@@ -87,7 +87,7 @@ from repro.algorithms.erlang import (zero_reward_bound_sweep,
 from repro.algorithms.parallel import threaded_map
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, RewardError
-from repro.kernels import KernelBackend, get_backend, note_selected
+from repro.kernels import KernelBackend, note_selected, resolve_static
 from repro.kernels.base import (DiscretizationPropagator, ShiftPlan,
                                 StepOperator, build_shift_plan,
                                 make_operator)
@@ -166,12 +166,16 @@ class DiscretizationEngine(JointEngine):
         # Thread fan-out knob for the sweep path only; it never changes
         # results, so it stays out of the cache token.
         self.max_workers = max_workers
-        self._backend = get_backend(kernel)
-        self.kernel = self._backend.name
+        self._kernel_request = kernel
+        self._backend = resolve_static(kernel)
+        self.kernel = ("auto" if self._backend is None
+                       else self._backend.name)
 
     def _cache_token(self) -> Tuple:
-        # Backends agree only to <= 1e-12, so the resolved backend name
-        # keys the result cache alongside the numeric knobs.
+        # Backends agree only to <= 1e-12, so the backend name keys the
+        # result cache alongside the numeric knobs.  The "auto"
+        # sentinel is sound: the per-model resolution is deterministic
+        # given the model content already in the key.
         return (self.name, self.step, self.underflow, self.include_zero,
                 self.kernel)
 
@@ -194,9 +198,10 @@ class DiscretizationEngine(JointEngine):
         """
         if t == 0.0:
             return indicator.astype(float).copy()
+        backend = self._backend_for(model)
         if r == 0.0:
             return zero_reward_bound_vector(model, t, indicator,
-                                            kernel=self._backend)
+                                            kernel=backend)
         num_steps, num_cells, rho, _ = self._setup(model, t, r)
         n = model.num_states
 
@@ -205,11 +210,11 @@ class DiscretizationEngine(JointEngine):
         weight[:, start:] = indicator[:, None]
 
         stepper = self._propagator(model, num_cells, weight,
-                                   forward=False)
-        note_selected(self.name, self.kernel)
+                                   forward=False, backend=backend)
+        note_selected(self.name, backend.name)
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
                                              engine=self.name,
-                                             kernel=self.kernel)
+                                             kernel=backend.name)
                        if OBS.enabled else None)
         with obs_span("adjoint_propagation", steps=num_steps - 1,
                       cells=num_cells):
@@ -244,7 +249,7 @@ class DiscretizationEngine(JointEngine):
                                     underflow=self.underflow,
                                     include_zero=self.include_zero,
                                     max_workers=self.max_workers,
-                                    kernel=self._backend)
+                                    kernel=self._kernel_request)
 
     def _compute_joint_interval(self, model, t, r, indicator):
         """Certified enclosure from the ``d`` vs ``d/2`` bracket.
@@ -313,6 +318,7 @@ class DiscretizationEngine(JointEngine):
         times = [float(t) for t in times]
         live_times = [(i, t) for i, t in enumerate(times) if t > 0.0]
         positive_times = [t for _, t in live_times]
+        backend = self._backend_for(model)
 
         def column(reward: float):
             stats = EngineStats()
@@ -321,10 +327,10 @@ class DiscretizationEngine(JointEngine):
             if reward == 0.0:
                 rows = zero_reward_bound_sweep(model, positive_times,
                                                indicator, stats=stats,
-                                               kernel=self._backend)
+                                               kernel=backend)
                 return rows, stats
             return self._adjoint_column(model, positive_times, reward,
-                                        indicator, stats), stats
+                                        indicator, stats, backend), stats
 
         columns = threaded_map(column, [float(r) for r in rewards],
                                max_workers=self.max_workers)
@@ -345,7 +351,9 @@ class DiscretizationEngine(JointEngine):
                         times: Sequence[float],
                         r: float,
                         indicator: np.ndarray,
-                        stats: EngineStats) -> np.ndarray:
+                        stats: EngineStats,
+                        backend: Optional[KernelBackend] = None
+                        ) -> np.ndarray:
         """Backward values for a fixed bound *r* at several times.
 
         Returns the ``(len(times), |S|)`` array of joint-probability
@@ -355,6 +363,8 @@ class DiscretizationEngine(JointEngine):
         only the last one.
         """
         t_max = max(times)
+        if backend is None:
+            backend = self._backend_for(model)
         num_steps, num_cells, rho, _ = self._setup(model, t_max, r)
         n = model.num_states
         d = self.step
@@ -373,12 +383,12 @@ class DiscretizationEngine(JointEngine):
         weight[:, start:] = indicator[:, None]
 
         stepper = self._propagator(model, num_cells, weight,
-                                   forward=False)
-        note_selected(self.name, self.kernel)
+                                   forward=False, backend=backend)
+        note_selected(self.name, backend.name)
         out = np.empty((len(times), n))
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
                                              engine=self.name,
-                                             kernel=self.kernel)
+                                             kernel=backend.name)
                        if OBS.enabled else None)
         with obs_span("adjoint_column", r=float(r), steps=num_steps,
                       points=len(times)):
@@ -428,12 +438,14 @@ class DiscretizationEngine(JointEngine):
             if rho[s0] < num_cells:
                 density[s0, index, rho[s0]] = 1.0 / self.step
 
+        backend = self._backend_for(model)
         stepper = self._propagator(model, num_cells, density,
-                                   forward=True, batch=batch)
-        note_selected(self.name, self.kernel)
+                                   forward=True, batch=batch,
+                                   backend=backend)
+        note_selected(self.name, backend.name)
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
                                              engine=self.name,
-                                             kernel=self.kernel)
+                                             kernel=backend.name)
                        if OBS.enabled else None)
         with obs_span("final_density_batch", steps=num_steps - 1,
                       batch=batch, cells=num_cells):
@@ -462,7 +474,7 @@ class DiscretizationEngine(JointEngine):
             return float(indicator[initial_state])
         if r == 0.0:
             exact = zero_reward_bound_vector(model, t, indicator,
-                                             kernel=self._backend)
+                                             kernel=self._backend_for(model))
             return float(exact[initial_state])
         density = self.final_density(model, t, r, initial_state)
         start = 0 if self.include_zero else 1
@@ -506,17 +518,21 @@ class DiscretizationEngine(JointEngine):
 
     def _propagator(self, model: MarkovRewardModel, num_cells: int,
                     state: np.ndarray, forward: bool,
-                    batch: Optional[int] = None
+                    batch: Optional[int] = None,
+                    backend: Optional[KernelBackend] = None
                     ) -> DiscretizationPropagator:
         """A kernel stepper over the caller-seeded *state* array."""
-        operator, impulses = self._step_operators(model, forward)
+        if backend is None:
+            backend = self._backend_for(model)
+        operator, impulses = self._step_operators(
+            model, forward, backend.operator_policy)
         live = [(cells, op) for cells, op in impulses
                 if cells < num_cells]
         plan = self._shift_plan(model)
         if batch is not None:
             plan = plan.expand(batch)
         return DiscretizationPropagator(
-            self._backend, operator, live, plan,
+            backend, operator, live, plan,
             self.underflow == "clamp", state, forward)
 
     def _shift_plan(self, model: MarkovRewardModel) -> ShiftPlan:
@@ -531,7 +547,8 @@ class DiscretizationEngine(JointEngine):
             matrix_cache.put(key, plan)
         return plan
 
-    def _step_operators(self, model: MarkovRewardModel, forward: bool
+    def _step_operators(self, model: MarkovRewardModel, forward: bool,
+                        policy: str = "auto"
                         ) -> Tuple[StepOperator,
                                    Tuple[Tuple[int, StepOperator], ...]]:
         """The fused per-step operator plus the impulse operators.
@@ -539,11 +556,15 @@ class DiscretizationEngine(JointEngine):
         ``diag(1 - E d)`` folds into the ``d``-scaled rate matrix, so
         the former ``stay[:, None] * W + base @ W`` pair becomes one
         product per step.  Cached per ``(model, step, orientation)``;
-        the representation (dense vs CSR) never depends on the kernel
-        backend, so the cache is backend-neutral.
+        under the default ``"auto"`` policy the representation (dense
+        vs CSR) never depends on the kernel backend, so that cache
+        entry is backend-neutral.  The sparse/dense backends pin the
+        representation instead and get their own key element.
         """
-        key = ("disc-step-op", model.fingerprint, self.step,
-               bool(forward))
+        key = (("disc-step-op", model.fingerprint, self.step,
+                bool(forward)) if policy == "auto"
+               else ("disc-step-op", model.fingerprint, self.step,
+                     bool(forward), policy))
         cached = matrix_cache.get(key)
         if cached is None:
             groups = dict(self._transposed_step_groups(model, self.step)
@@ -553,9 +574,10 @@ class DiscretizationEngine(JointEngine):
             base = groups.pop(0, sp.csr_matrix((n, n)))
             stay = 1.0 - model.exit_rates * self.step
             fused = (base + sp.diags(stay, 0, format="csr")).tocsr()
-            operator = make_operator(fused)
-            impulses = tuple((int(cells), make_operator(matrix))
-                             for cells, matrix in sorted(groups.items()))
+            operator = make_operator(fused, policy=policy)
+            impulses = tuple(
+                (int(cells), make_operator(matrix, policy=policy))
+                for cells, matrix in sorted(groups.items()))
             cached = (operator, impulses)
             matrix_cache.put(key, cached)
         return cached

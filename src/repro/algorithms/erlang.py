@@ -52,7 +52,7 @@ from repro.algorithms.parallel import threaded_map
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
-from repro.kernels import KernelBackend, get_backend, note_selected
+from repro.kernels import KernelBackend, note_selected, resolve_static
 from repro.obs import span as obs_span
 from repro.numerics.uniformization import (
     Kernel, transient_distribution, transient_target_probabilities,
@@ -198,8 +198,10 @@ class ErlangEngine(JointEngine):
         #: Not part of the cache token: it never changes values.
         self.max_workers = max_workers
         self.last_expanded_size: Optional[int] = None
-        self._backend: KernelBackend = get_backend(kernel)
-        self.kernel = self._backend.name
+        self._kernel_request = kernel
+        self._backend: Optional[KernelBackend] = resolve_static(kernel)
+        self.kernel = ("auto" if self._backend is None
+                       else self._backend.name)
 
     def _cache_token(self) -> Tuple:
         return (self.name, self.phases, self.epsilon, self.kernel)
@@ -218,16 +220,20 @@ class ErlangEngine(JointEngine):
             # Y_0 = 0 <= r for any r >= 0: only the target matters.
             return indicator.astype(float).copy()
         if r == 0.0:
-            return zero_reward_bound_vector(model, t, indicator,
-                                            epsilon=self.epsilon,
-                                            kernel=self._backend)
+            return zero_reward_bound_vector(
+                model, t, indicator, epsilon=self.epsilon,
+                kernel=self._backend_for(model))
         expanded, barrier = erlang_expanded_model(model, r, self.phases)
         self.last_expanded_size = expanded.num_states
-        note_selected(self.name, self.kernel)
+        # Auto-selection keys on the *expanded* chain -- that is the
+        # chain being propagated, and its dimensions are a function of
+        # (model, r, phases), all of which sit in the cache key.
+        backend = self._backend_for(expanded)
+        note_selected(self.name, backend.name)
         vector = transient_target_probabilities(
             expanded, t, self._expanded_indicator(expanded, indicator),
             epsilon=self.epsilon, stats=self.stats,
-            kernel=self._backend, metrics_engine=self.name)
+            kernel=backend, metrics_engine=self.name)
         # Initial phase is 0: read off the (s, 0) entries.
         result = vector[0:barrier:self.phases].copy()
         return np.clip(result, 0.0, 1.0)
@@ -263,10 +269,9 @@ class ErlangEngine(JointEngine):
         def column(reward: float):
             stats = EngineStats()
             if reward == 0.0:
-                rows = zero_reward_bound_sweep(model, times, indicator,
-                                               epsilon=self.epsilon,
-                                               stats=stats,
-                                               kernel=self._backend)
+                rows = zero_reward_bound_sweep(
+                    model, times, indicator, epsilon=self.epsilon,
+                    stats=stats, kernel=self._backend_for(model))
                 return rows, stats, None
             expanded, barrier = erlang_expanded_model(model, reward,
                                                       self.phases)
@@ -274,7 +279,8 @@ class ErlangEngine(JointEngine):
                 expanded, times,
                 self._expanded_indicator(expanded, indicator),
                 epsilon=self.epsilon, stats=stats,
-                kernel=self._backend, metrics_engine=self.name)
+                kernel=self._backend_for(expanded),
+                metrics_engine=self.name)
             column_values = np.clip(
                 rows[:, 0:barrier:self.phases], 0.0, 1.0)
             return column_values, stats, expanded.num_states
@@ -307,7 +313,7 @@ class ErlangEngine(JointEngine):
         return ErlangEngine(phases=self.phases * 2,
                             epsilon=self.epsilon,
                             max_workers=self.max_workers,
-                            kernel=self._backend)
+                            kernel=self._kernel_request)
 
     def _compute_joint_interval(self, model, t, r, indicator):
         """Certified enclosure from the ``k`` vs ``2k`` bracket.
@@ -362,9 +368,9 @@ class ErlangEngine(JointEngine):
         the batched backward series; used by the equivalence tests)."""
         indicator = np.asarray(indicator, dtype=float)
         if r == 0.0:
-            exact = zero_reward_bound_vector(model, t, indicator,
-                                             epsilon=self.epsilon,
-                                             kernel=self._backend)
+            exact = zero_reward_bound_vector(
+                model, t, indicator, epsilon=self.epsilon,
+                kernel=self._backend_for(model))
             return float(exact[int(initial_state)])
         expanded, barrier = erlang_expanded_model(model, r, self.phases)
         k = self.phases
@@ -372,7 +378,8 @@ class ErlangEngine(JointEngine):
         alpha[int(initial_state) * k] = 1.0
         distribution = transient_distribution(
             expanded, t, initial=alpha, epsilon=self.epsilon,
-            steady_state_detection=False, kernel=self._backend,
+            steady_state_detection=False,
+            kernel=self._backend_for(expanded),
             metrics_engine=self.name)
         mass = 0.0
         for s in np.flatnonzero(indicator):

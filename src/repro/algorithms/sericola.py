@@ -63,7 +63,7 @@ from repro.algorithms.base import (EngineCapabilities, JointEngine,
 from repro.algorithms.cache import matrix_cache
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError
-from repro.kernels import KernelBackend, get_backend, note_selected
+from repro.kernels import KernelBackend, note_selected, resolve_static
 from repro.kernels.base import (SericolaPlan, SericolaSeries,
                                 build_sericola_plan)
 from repro.numerics.poisson import poisson_weights, right_truncation_point
@@ -128,8 +128,10 @@ class SericolaEngine(JointEngine):
         self.uniformization_rate = uniformization_rate
         self.steady_state_detection = bool(steady_state_detection)
         self.last_diagnostics: Optional[SericolaDiagnostics] = None
-        self._backend: KernelBackend = get_backend(kernel)
-        self.kernel = self._backend.name
+        self._kernel_request = kernel
+        self._backend: Optional[KernelBackend] = resolve_static(kernel)
+        self.kernel = ("auto" if self._backend is None
+                       else self._backend.name)
 
     def _cache_token(self):
         return (self.name, self.epsilon, self.uniformization_rate,
@@ -191,7 +193,7 @@ class SericolaEngine(JointEngine):
             epsilon=max(self.epsilon * 1e-2, self.MIN_EPSILON),
             uniformization_rate=self.uniformization_rate,
             steady_state_detection=self.steady_state_detection,
-            kernel=self._backend)
+            kernel=self._kernel_request)
 
     def complementary_vector(self,
                              model: MarkovRewardModel,
@@ -248,17 +250,20 @@ class SericolaEngine(JointEngine):
             # Y_0 = 0 <= r: nothing exceeds the bound.
             return indicator.astype(float).copy(), np.zeros(n_states)
 
+        backend = self._backend_for(model)
         plan = self._sericola_plan(model)
         levels = plan.levels
         m = len(levels) - 1
         if r >= levels[-1] * t:
             # Y_t <= rho_max * t surely: the bound never binds.
-            transient = self._backward_transient(model, t, indicator)
+            transient = self._backward_transient(model, t, indicator,
+                                                 backend)
             return transient, np.zeros(n_states)
         if m == 0 or r < levels[0] * t:
             # Deterministic accumulation above r (single level), or
             # Y_t >= rho_min * t > r: exceeding is sure.
-            transient = self._backward_transient(model, t, indicator)
+            transient = self._backward_transient(model, t, indicator,
+                                                 backend)
             return np.zeros(n_states), transient
 
         # Level h with rho_{h-1} t <= r < rho_h t, and normalised bound.
@@ -271,8 +276,9 @@ class SericolaEngine(JointEngine):
             # No transitions at all: Y_t = rho(i) * t deterministically.
             exceeding = indicator * (rho * t > r).astype(float)
             return indicator - exceeding, exceeding
-        operator = uniformized_operator(model, rate)
-        note_selected(self.name, self.kernel)
+        operator = uniformized_operator(model, rate,
+                                        policy=backend.operator_policy)
+        note_selected(self.name, backend.name)
         q = rate * t
         depth = right_truncation_point(q, self.epsilon)
         psi = poisson_weights(q, epsilon=min(self.epsilon * 1e-3, 1e-14))
@@ -280,7 +286,7 @@ class SericolaEngine(JointEngine):
         # The preallocated series state: one (|S|, depth+1, m) buffer
         # pair whose n*m-column prefix feeds a single block product per
         # step (see repro.kernels.base.SericolaSeries).
-        series = SericolaSeries(self._backend, operator,
+        series = SericolaSeries(backend, operator,
                                 indicator.astype(float), plan, depth)
         u = series.u  # u = P^n 1_{S'}
 
@@ -302,7 +308,7 @@ class SericolaEngine(JointEngine):
 
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
                                              engine=self.name,
-                                             kernel=self.kernel)
+                                             kernel=backend.name)
                        if OBS.enabled else None)
         record = None
         tail = None
@@ -419,6 +425,7 @@ class SericolaEngine(JointEngine):
         n_states = model.num_states
         rho = model.rewards
         self._check_capabilities(model)
+        backend = self._backend_for(model)
         plan = self._sericola_plan(model)
         levels = plan.levels
         m = len(levels) - 1
@@ -456,8 +463,9 @@ class SericolaEngine(JointEngine):
                     })
         if not transient_points and not normal_points:
             return grid
-        operator = uniformized_operator(model, rate)
-        note_selected(self.name, self.kernel)
+        operator = uniformized_operator(model, rate,
+                                        policy=backend.operator_policy)
+        note_selected(self.name, backend.name)
         trans = [(i, j, poisson_weights(
                      rate * t, epsilon=min(self.epsilon * 1e-3, 1e-14)))
                  for i, j, t in transient_points]
@@ -467,7 +475,7 @@ class SericolaEngine(JointEngine):
 
         series: Optional[SericolaSeries] = None
         if normal_points:
-            series = SericolaSeries(self._backend, operator,
+            series = SericolaSeries(backend, operator,
                                     indicator.astype(float), plan,
                                     depth_b)
             u = series.u
@@ -479,7 +487,7 @@ class SericolaEngine(JointEngine):
             u = indicator.astype(float).copy()
         matvec_hist = (OBS.metrics.histogram("repro_matvec_block_seconds",
                                              engine=self.name,
-                                             kernel=self.kernel)
+                                             kernel=backend.name)
                        if OBS.enabled else None)
         for i, j, psi in trans:
             if psi.left == 0:
@@ -552,13 +560,18 @@ class SericolaEngine(JointEngine):
     def _backward_transient(self,
                             model: MarkovRewardModel,
                             t: float,
-                            indicator: np.ndarray) -> np.ndarray:
+                            indicator: np.ndarray,
+                            backend: Optional[KernelBackend] = None
+                            ) -> np.ndarray:
         """``Pr{X_t in S' | X_0 = i}`` for every i (backward series)."""
         rate = (model.max_exit_rate if self.uniformization_rate is None
                 else float(self.uniformization_rate))
         if rate == 0.0 or t == 0.0:
             return indicator.astype(float).copy()
-        operator = uniformized_operator(model, rate)
+        if backend is None:
+            backend = self._backend_for(model)
+        operator = uniformized_operator(model, rate,
+                                        policy=backend.operator_policy)
         psi = poisson_weights(rate * t,
                               epsilon=min(self.epsilon * 1e-3, 1e-14))
         vector = indicator.astype(float).copy()

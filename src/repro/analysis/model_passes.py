@@ -1,8 +1,8 @@
 """Model passes: structural diagnostics over a CTMC/MRM.
 
-Codes ``M001``--``M008``; see ``docs/DIAGNOSTICS.md`` for the full
-catalogue.  All passes are pure graph/vector inspections -- no
-transient analysis, no engine runs.
+Codes ``M001``--``M009``; see ``docs/DIAGNOSTICS.md`` for the full
+catalogue.  All passes are pure graph/vector inspections (M009 runs a
+capped partition refinement) -- no transient analysis, no engine runs.
 """
 
 from __future__ import annotations
@@ -239,6 +239,44 @@ def self_loops(context: AnalysisContext) -> Iterator[Diagnostic]:
             hint=("drop reward-free self-loops; keep them only when "
                   "an impulse reward on the loop is intended"),
             source="model")
+
+
+@register_pass("model")
+def lumpable_model(context: AnalysisContext) -> Iterator[Diagnostic]:
+    """M009: the model admits a non-trivial ordinary lumping.
+
+    Runs the same capped partition refinement the checker's automatic
+    pre-pass uses (:mod:`repro.mc.prepass`), but respecting *every*
+    label, so the reported quotient is valid whatever formula is later
+    checked.  Informational: the pre-pass exploits this automatically
+    unless it was disabled.
+    """
+    from repro.ctmc.lumping import try_lump
+    from repro.mc.prepass import LUMP_MAX_PASSES, LUMP_MAX_STATES
+    model = context.model
+    if model is None or model.num_states == 0:
+        return
+    if model.num_states > LUMP_MAX_STATES:
+        return  # refinement at this size is the pre-pass's business
+    if getattr(model, "has_impulse_rewards", False):
+        return  # impulse rewards rule the quotient construction out
+    lumping = try_lump(model,
+                       respect_initial=False,
+                       max_passes=LUMP_MAX_PASSES)
+    if lumping is None:
+        return
+    ratio = model.num_states / lumping.num_blocks
+    yield Diagnostic(
+        code="M009",
+        severity=Severity.INFO,
+        message=(f"the model is ordinarily lumpable: {model.num_states} "
+                 f"states collapse to {lumping.num_blocks} blocks "
+                 f"({ratio:.1f}x) with identical checking results"),
+        hint=("the checker's pre-pass (lump=\"auto\") applies this "
+              "automatically on models of >= 512 states; pass "
+              "lump=True to force it, or run 'repro lump' to "
+              "materialise the quotient"),
+        source="model")
 
 
 def _tra_duplicates(path: str) -> List[Tuple[int, int, int]]:

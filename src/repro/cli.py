@@ -61,13 +61,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=available_engines(),
                        help="engine for time+reward bounded until")
     check.add_argument("--kernel", default=None,
-                       choices=("numpy", "numba"),
+                       choices=("numpy", "numba", "sparse", "dense"),
                        help="propagation kernel backend (default: the "
-                            "REPRO_KERNEL env var, else numba when "
-                            "importable, else numpy)")
+                            "REPRO_KERNEL env var, else auto per "
+                            "model: sparse for large sparse models, "
+                            "else numba when importable, else numpy)")
     check.add_argument("-v", "--verbose", action="store_true",
-                       help="print the resolved engine and kernel "
-                            "backend before checking")
+                       help="print the resolved engine, kernel "
+                            "backend and lumping pre-pass outcome")
+    check.add_argument("--no-lump", action="store_true",
+                       help="disable the automatic lumping pre-pass "
+                            "(P3 checks then always propagate the "
+                            "unminimised reduced model)")
     check.add_argument("--initial-state", type=int, default=0,
                        help="0-based initial state index")
     check.add_argument("--epsilon", type=float, default=1e-9,
@@ -112,9 +117,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=available_engines(),
                          help="engine for time+reward bounded until")
     profile.add_argument("--kernel", default=None,
-                         choices=("numpy", "numba"),
+                         choices=("numpy", "numba", "sparse", "dense"),
                          help="propagation kernel backend (default: "
                               "REPRO_KERNEL env var, else auto)")
+    profile.add_argument("--no-lump", action="store_true",
+                         help="disable the automatic lumping pre-pass")
     profile.add_argument("--initial-state", type=int, default=0,
                          help="0-based initial state index")
     profile.add_argument("--epsilon", type=float, default=1e-9,
@@ -136,7 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     case.add_argument("--erlang-phases", type=int, default=256)
     case.add_argument("--step", type=float, default=1.0 / 64)
     case.add_argument("--kernel", default=None,
-                      choices=("numpy", "numba"),
+                      choices=("numpy", "numba", "sparse", "dense"),
                       help="propagation kernel backend for all three "
                            "engines (default: REPRO_KERNEL env var, "
                            "else auto)")
@@ -230,7 +237,8 @@ def _cmd_check(args) -> int:
     if args.verbose:
         print(f"engine: {engine.name}  kernel: "
               f"{getattr(engine, 'kernel', 'n/a')}", file=sys.stderr)
-    checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+    checker = ModelChecker(model, engine=engine, epsilon=args.epsilon,
+                           lump=False if args.no_lump else "auto")
     formula = _resolve_formula(args.formula, args.model)
     if not (args.profile or args.trace_out):
         return _run_check(checker, model, formula, args)
@@ -255,6 +263,8 @@ def _run_check(checker: ModelChecker, model, formula: str, args) -> int:
         print("(repro lint shows the full analysis; pass a different "
               "--engine or fix the model/formula)", file=sys.stderr)
         return 2
+    if args.verbose:
+        _report_verbose(checker, file=sys.stderr)
     print(result)
     if result.probabilities is not None:
         for s in range(model.num_states):
@@ -263,6 +273,25 @@ def _run_check(checker: ModelChecker, model, formula: str, args) -> int:
                   f"{result.probabilities[s]:.8f}")
     print(f"holds initially: {result.holds_initially}")
     return 0 if result.holds_initially else 1
+
+
+def _report_verbose(checker: ModelChecker, file) -> None:
+    """Post-check ``-v`` lines: resolved kernel, pre-pass outcome."""
+    resolved = getattr(checker.engine, "last_kernel", None)
+    if resolved is not None:
+        print(f"kernel resolved: {resolved}", file=file)
+    info = checker.last_lump
+    if info is None:
+        return
+    if info.applied:
+        print(f"lump: {info.num_states} states -> {info.num_blocks} "
+              f"blocks", file=file)
+    elif info.num_blocks is not None:
+        print(f"lump: {info.num_blocks} blocks found for "
+              f"{info.num_states} states, not applied ({info.reason})",
+              file=file)
+    else:
+        print(f"lump: not applied ({info.reason})", file=file)
 
 
 def _certified_check(checker: ModelChecker, model, formula: str,
@@ -309,7 +338,8 @@ def _cmd_profile(args) -> int:
 
     model = _load_model(args.model, args.initial_state)
     engine = _make_engine(args)
-    checker = ModelChecker(model, engine=engine, epsilon=args.epsilon)
+    checker = ModelChecker(model, engine=engine, epsilon=args.epsilon,
+                           lump=False if args.no_lump else "auto")
     formula = _resolve_formula(args.formula, args.model)
     with OBS.capture():
         result = checker.check(formula)

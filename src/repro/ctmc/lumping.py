@@ -10,9 +10,14 @@ reduction of CSL/CSRL checkers such as MRMC.
 The partition-refinement algorithm here is the classic
 split-until-stable scheme: start from the partition induced by
 (labels, reward), then repeatedly split blocks whose members differ in
-their total rate into some block, until no splitter exists.  With
-hashing on rate signatures each pass is O(|S| + nnz); the number of
-passes is bounded by the number of blocks produced.
+their total rate into some block, until no splitter exists.  Each pass
+is one sparse matrix re-bucketing (aggregate the CSR columns by target
+block) plus a hash-grouping of the per-state rate signatures, O(|S| +
+nnz); the number of passes is bounded by the number of blocks
+produced.  That keeps refinement practical at |S| ~ 10^5, which is
+what the checker's automatic pre-pass (:mod:`repro.mc.prepass`)
+relies on; :func:`try_lump` adds the state-count and pass-count caps
+that make the pre-pass' cost predictable.
 """
 
 from __future__ import annotations
@@ -61,20 +66,138 @@ class Lumping:
         return frozenset(members)
 
 
+def _group_columns(*columns: np.ndarray) -> np.ndarray:
+    """Dense group ids (0..k-1) for the row-wise tuples of *columns*."""
+    stacked = np.column_stack(columns)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    return inverse.astype(np.int64).ravel()
+
+
 def _initial_partition(model: MarkovRewardModel,
                        respect_labels: Optional[Sequence[str]]
                        ) -> np.ndarray:
     """Partition by (labelling restricted to *respect_labels*, reward)."""
     if respect_labels is None:
         respect_labels = model.atomic_propositions
-    signatures: Dict[Tuple, int] = {}
-    block_of = np.zeros(model.num_states, dtype=np.int64)
-    for s in range(model.num_states):
-        signature = (tuple(sorted(ap for ap in respect_labels
-                                  if s in model.states_with(ap))),
-                     float(model.reward(s)))
-        block_of[s] = signatures.setdefault(signature, len(signatures))
-    return block_of
+    n = model.num_states
+    columns = []
+    for ap in sorted(respect_labels):
+        mask = np.zeros(n, dtype=np.int64)
+        members = np.fromiter(model.states_with(ap), dtype=np.int64,
+                              count=len(model.states_with(ap)))
+        if members.size:
+            mask[members] = 1
+        columns.append(mask)
+    _, reward_code = np.unique(np.asarray(model.rewards, dtype=float),
+                               return_inverse=True)
+    columns.append(reward_code.astype(np.int64).ravel())
+    return _group_columns(*columns)
+
+
+#: Widest per-state rate signature (distinct target blocks in one
+#: row) the padded vectorised grouping will materialise; wider rows
+#: fall back to the per-row hashing loop.
+_MAX_PADDED_SIGNATURE = 64
+
+
+def _group_signatures(block_of: np.ndarray,
+                      agg: sp.csr_matrix,
+                      quantised: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Group states by (current block, aggregated rate signature).
+
+    Returns ``(refined, num_groups)``.  The fast path pads every row's
+    (target block, quantised rate) pairs into a fixed-width integer
+    matrix and groups rows with one :func:`np.lexsort` plus adjacent
+    comparisons -- no per-row Python work.  Rows wider than
+    :data:`_MAX_PADDED_SIGNATURE` (dense-ish models, necessarily
+    small) take the hashing loop instead.
+    """
+    n = len(block_of)
+    counts = np.diff(agg.indptr)
+    width = int(counts.max()) if n and len(counts) else 0
+    if width > _MAX_PADDED_SIGNATURE:
+        signatures: Dict[Tuple, int] = {}
+        refined = np.zeros(n, dtype=np.int64)
+        indptr, indices = agg.indptr, agg.indices
+        for s in range(n):
+            lo, hi = indptr[s], indptr[s + 1]
+            key = (int(block_of[s]),
+                   indices[lo:hi].tobytes(),
+                   quantised[lo:hi].tobytes())
+            refined[s] = signatures.setdefault(key, len(signatures))
+        return refined, len(signatures)
+    padded = np.full((n, 2 * width + 1), -1, dtype=np.int64)
+    padded[:, 0] = block_of
+    if width:
+        row_id = np.repeat(np.arange(n, dtype=np.int64), counts)
+        position = (np.arange(len(agg.indices), dtype=np.int64)
+                    - np.repeat(agg.indptr[:-1], counts))
+        padded[row_id, 1 + 2 * position] = agg.indices
+        padded[row_id, 2 + 2 * position] = quantised
+    order = np.lexsort(padded.T[::-1])
+    ranked = padded[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.any(ranked[1:] != ranked[:-1], axis=1, out=boundary[1:])
+    group_sorted = np.cumsum(boundary) - 1
+    refined = np.empty(n, dtype=np.int64)
+    refined[order] = group_sorted
+    return refined, int(group_sorted[-1]) + 1 if n else 0
+
+
+def _refine(model: MarkovRewardModel,
+            block_of: np.ndarray,
+            tolerance: float,
+            max_passes: Optional[int] = None) -> Optional[np.ndarray]:
+    """Split-until-stable refinement of *block_of*.
+
+    Returns the stable partition, or ``None`` when *max_passes* passes
+    did not reach stability (a partially refined partition is *not* a
+    valid lumping -- it would merge states with different dynamics --
+    so the caller must fall back to the identity).
+    """
+    n = model.num_states
+    matrix = model.rate_matrix
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    passes = 0
+    while True:
+        num_blocks = int(block_of.max()) + 1 if n else 0
+        # Aggregate each CSR row by the *block* of the target column:
+        # one sparse re-bucketing gives every state's rate signature.
+        agg = sp.csr_matrix(
+            (data.copy(), block_of[indices], indptr.copy()),
+            shape=(n, num_blocks))
+        agg.sum_duplicates()
+        agg.sort_indices()
+        quantised = np.round(agg.data / tolerance).astype(np.int64)
+        refined, num_groups = _group_signatures(block_of, agg,
+                                                quantised)
+        if num_groups == num_blocks:
+            return block_of
+        block_of = refined
+        passes += 1
+        if max_passes is not None and passes >= max_passes:
+            return None
+
+
+def _canonicalise(block_of: np.ndarray
+                  ) -> Tuple[np.ndarray, List[List[int]]]:
+    """Renumber blocks by smallest member and materialise the blocks."""
+    n = len(block_of)
+    _, block_of = np.unique(block_of, return_inverse=True)
+    block_of = block_of.astype(np.int64).ravel()
+    k = int(block_of.max()) + 1 if n else 0
+    first = np.full(k, n, dtype=np.int64)
+    np.minimum.at(first, block_of, np.arange(n, dtype=np.int64))
+    renumber = np.empty(k, dtype=np.int64)
+    renumber[np.argsort(first, kind="stable")] = np.arange(
+        k, dtype=np.int64)
+    block_of = renumber[block_of]
+    order = np.argsort(block_of, kind="stable")
+    counts = np.bincount(block_of, minlength=k)
+    blocks = [chunk.tolist()
+              for chunk in np.split(order, np.cumsum(counts)[:-1])]
+    return block_of, blocks
 
 
 def lump(model: MarkovRewardModel,
@@ -98,56 +221,75 @@ def lump(model: MarkovRewardModel,
     tolerance:
         Rates whose difference is below *tolerance* count as equal.
     """
-    n = model.num_states
     if respect_labels is None:
         respect_labels = model.atomic_propositions
     block_of = _initial_partition(model, respect_labels)
     if respect_initial:
-        refinement: Dict[Tuple, int] = {}
-        refined = np.zeros(n, dtype=np.int64)
-        for s in range(n):
-            key = (int(block_of[s]),
-                   round(float(model.initial_distribution[s]) /
-                         max(tolerance, 1e-30)))
-            refined[s] = refinement.setdefault(key, len(refinement))
-        block_of = refined
+        initial_code = np.round(
+            np.asarray(model.initial_distribution, dtype=float)
+            / max(tolerance, 1e-30)).astype(np.int64)
+        block_of = _group_columns(block_of, initial_code)
 
-    matrix = model.rate_matrix
-    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    block_of = _refine(model, block_of, tolerance)
+    block_of, blocks = _canonicalise(block_of)
+    quotient = _build_quotient(model, block_of, blocks, respect_labels)
+    return Lumping(quotient=quotient, block_of=block_of, blocks=blocks)
 
-    # Refine until stable: signature of s = multiset of
-    # (block(target), total rate into that block).
-    while True:
-        signatures: Dict[Tuple, int] = {}
-        refined = np.zeros(n, dtype=np.int64)
-        for s in range(n):
-            into: Dict[int, float] = {}
-            for ptr in range(indptr[s], indptr[s + 1]):
-                target_block = int(block_of[indices[ptr]])
-                into[target_block] = into.get(target_block, 0.0) \
-                    + float(data[ptr])
-            rate_signature = tuple(sorted(
-                (block, round(rate / tolerance))
-                for block, rate in into.items()))
-            key = (int(block_of[s]), rate_signature)
-            refined[s] = signatures.setdefault(key, len(signatures))
-        if len(signatures) == len(np.unique(block_of)):
-            break
-        block_of = refined
 
-    # Canonicalise block numbering by smallest member state.
-    order = {}
-    for s in range(n):
-        order.setdefault(int(block_of[s]), s)
-    ranked = sorted(order, key=order.get)
-    renumber = {old: new for new, old in enumerate(ranked)}
-    block_of = np.array([renumber[int(b)] for b in block_of],
-                        dtype=np.int64)
+def try_lump(model: MarkovRewardModel,
+             respect_labels: Optional[Sequence[str]] = None,
+             respect_initial: bool = True,
+             tolerance: float = 1e-12,
+             max_states: Optional[int] = None,
+             max_passes: Optional[int] = None,
+             respect_partition: Optional[np.ndarray] = None
+             ) -> Optional[Lumping]:
+    """Budgeted :func:`lump` for opportunistic callers.
 
-    blocks: List[List[int]] = [[] for _ in range(len(ranked))]
-    for s in range(n):
-        blocks[block_of[s]].append(s)
+    Returns ``None`` -- instead of a (possibly trivial) lumping --
+    whenever minimisation is unavailable or not worth the cost:
 
+    * the model carries impulse rewards (ordinary lumpability as
+      implemented ignores the impulse matrix, so the quotient would
+      not be equivalent);
+    * the model has more than *max_states* states (refinement cost
+      cap);
+    * refinement did not stabilise within *max_passes* passes (a
+      partial partition is not a valid lumping, so the budget overrun
+      forfeits the whole attempt);
+    * the stable partition is the identity (no reduction to be had).
+
+    *respect_partition* optionally seeds the initial partition with an
+    extra per-state integer code that blocks must not cross -- the
+    checker's pre-pass uses it to keep the target set ``Sat(Psi)`` a
+    union of blocks without going through the label machinery.
+
+    Used by the checker's automatic pre-pass
+    (:mod:`repro.mc.prepass`) and the M009 lint pass, which must never
+    spend more time deciding whether to lump than lumping saves.
+    """
+    if model.has_impulse_rewards:
+        return None
+    if max_states is not None and model.num_states > max_states:
+        return None
+    if respect_labels is None:
+        respect_labels = model.atomic_propositions
+    block_of = _initial_partition(model, respect_labels)
+    if respect_partition is not None:
+        block_of = _group_columns(
+            block_of, np.asarray(respect_partition, dtype=np.int64))
+    if respect_initial:
+        initial_code = np.round(
+            np.asarray(model.initial_distribution, dtype=float)
+            / max(tolerance, 1e-30)).astype(np.int64)
+        block_of = _group_columns(block_of, initial_code)
+    block_of = _refine(model, block_of, tolerance,
+                       max_passes=max_passes)
+    if block_of is None:
+        return None
+    if len(np.unique(block_of)) == model.num_states:
+        return None
+    block_of, blocks = _canonicalise(block_of)
     quotient = _build_quotient(model, block_of, blocks, respect_labels)
     return Lumping(quotient=quotient, block_of=block_of, blocks=blocks)
 
@@ -157,35 +299,29 @@ def _build_quotient(model: MarkovRewardModel,
                     blocks: List[List[int]],
                     respect_labels: Sequence[str]) -> MarkovRewardModel:
     k = len(blocks)
-    representatives = [members[0] for members in blocks]
+    representatives = np.fromiter((members[0] for members in blocks),
+                                  dtype=np.int64, count=k)
 
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-    matrix = model.rate_matrix
-    for b, representative in enumerate(representatives):
-        row = matrix.getrow(representative)
-        into: Dict[int, float] = {}
-        for target, rate in zip(row.indices, row.data):
-            target_block = int(block_of[target])
-            into[target_block] = into.get(target_block, 0.0) + float(rate)
-        for target_block, rate in into.items():
-            rows.append(b)
-            cols.append(target_block)
-            vals.append(rate)
-    rates = sp.coo_matrix((vals, (rows, cols)), shape=(k, k)).tocsr()
+    # One representative row per block, columns re-bucketed by block:
+    # lumpability guarantees any member gives the same aggregated row.
+    sub = model.rate_matrix[representatives]
+    rates = sp.csr_matrix((sub.data, block_of[sub.indices], sub.indptr),
+                          shape=(k, k))
+    rates.sum_duplicates()
 
-    rewards = [model.reward(representative)
-               for representative in representatives]
-    alpha = np.zeros(k)
-    for s, mass in enumerate(model.initial_distribution):
-        alpha[block_of[s]] += mass
+    rewards = np.asarray(model.rewards, dtype=float)[representatives]
+    alpha = np.bincount(block_of,
+                        weights=model.initial_distribution,
+                        minlength=k)
     if not np.isclose(alpha.sum(), 1.0):
         raise ModelError("lumping lost initial probability mass")
 
-    labels = {ap: {int(block_of[s]) for s in model.states_with(ap)
-                   if ap in respect_labels}
-              for ap in respect_labels}
+    labels = {}
+    for ap in respect_labels:
+        members = np.fromiter(model.states_with(ap), dtype=np.int64,
+                              count=len(model.states_with(ap)))
+        labels[ap] = ({int(b) for b in np.unique(block_of[members])}
+                      if members.size else set())
     names = None
     if model.state_names is not None:
         names = ["{" + "+".join(model.name_of(s) for s in members[:3])

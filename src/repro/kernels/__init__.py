@@ -9,12 +9,26 @@ Backend selection order (first match wins):
 
 1. an explicit ``kernel=`` argument on the engine (a backend name or a
    :class:`KernelBackend` instance);
-2. the ``REPRO_KERNEL`` environment variable (``numpy`` or ``numba``);
-3. auto-detection: ``numba`` when importable, else ``numpy``.
+2. the ``REPRO_KERNEL`` environment variable (``numpy``, ``numba``,
+   ``sparse`` or ``dense``);
+3. model-aware auto-selection (:func:`select_for_model`): ``sparse``
+   when the model is large (|S| >= :data:`SPARSE_AUTO_MIN_STATES`)
+   and its rate matrix sparse (nnz density <=
+   :data:`SPARSE_AUTO_MAX_DENSITY`), else ``numba`` when importable,
+   else ``numpy``.
+
+Engines resolve step 3 lazily, per model, at their entry points
+(:func:`resolve_static` returns ``None`` when neither a knob nor the
+environment pins a backend); the cache tokens then carry the literal
+``"auto"`` sentinel, which is sound because the per-model choice is a
+deterministic function of the model content already in the key.
 
 The numba backend is import-guarded: requesting it without numba
 installed emits a :class:`RuntimeWarning` and falls back to the pure
-NumPy backend, so the package runs unchanged without numba.
+NumPy backend, so the package runs unchanged without numba.  The
+``sparse`` backend (CSR step operators, SpMM batched over the reward
+axis) and the ``dense`` benchmarking baseline are always available --
+scipy is a hard dependency.
 """
 
 from __future__ import annotations
@@ -41,7 +55,13 @@ from repro.kernels.base import (
 
 ENV_VAR = "REPRO_KERNEL"
 
-_BACKEND_NAMES = ("numpy", "numba")
+_BACKEND_NAMES = ("numpy", "numba", "sparse", "dense")
+
+#: Auto-selection thresholds (:func:`select_for_model`): the sparse
+#: backend wins on models at least this large ...
+SPARSE_AUTO_MIN_STATES = 4096
+#: ... whose rate matrix is at most this dense (nnz / |S|^2).
+SPARSE_AUTO_MAX_DENSITY = 1.0 / 16.0
 
 _instances: Dict[str, KernelBackend] = {}
 _numba_available: Optional[bool] = None
@@ -63,6 +83,7 @@ def available_backends() -> List[str]:
     names = ["numpy"]
     if numba_available():
         names.append("numba")
+    names.extend(["sparse", "dense"])
     return names
 
 
@@ -118,11 +139,53 @@ def get_backend(name: Union[str, KernelBackend, None] = None
                 RuntimeWarning, stacklevel=2)
             return get_backend("numpy")
         backend = NumbaBackend()
+    elif name == "sparse":
+        from repro.kernels.sparse_backend import SparseBackend
+        backend = SparseBackend()
+    elif name == "dense":
+        from repro.kernels.sparse_backend import DenseBackend
+        backend = DenseBackend()
     else:
         from repro.kernels.numpy_backend import NumpyBackend
         backend = NumpyBackend()
     _instances[name] = backend
     return backend
+
+
+def resolve_static(kernel: Union[str, KernelBackend, None]
+                   ) -> Optional[KernelBackend]:
+    """The backend pinned by a knob or the environment, else ``None``.
+
+    Engines call this at construction time: an explicit ``kernel=``
+    argument or a set ``REPRO_KERNEL`` resolves eagerly (preserving
+    the early unknown-name/fallback diagnostics); ``None`` means "no
+    static preference" and the engine defers to the per-model
+    :func:`select_for_model` at its entry points.
+    """
+    if kernel is not None:
+        return get_backend(kernel)
+    if os.environ.get(ENV_VAR):
+        return get_backend(None)
+    return None
+
+
+def select_for_model(num_states: int, num_transitions: int
+                     ) -> KernelBackend:
+    """Model-aware auto-selection (step 3 of the selection order).
+
+    Large, sparse models get the CSR backend -- its SpMM step never
+    materialises an O(|S|^2) operator -- everything else gets the
+    default dense-loop backend (numba when importable, else numpy),
+    whose ``auto`` operator heuristic already serves small chains
+    well.  The choice is a deterministic function of the model's
+    dimensions, so engines may cache results under an ``"auto"``
+    token without collisions.
+    """
+    if num_states >= SPARSE_AUTO_MIN_STATES:
+        density = num_transitions / float(max(num_states, 1)) ** 2
+        if density <= SPARSE_AUTO_MAX_DENSITY:
+            return get_backend("sparse")
+    return get_backend("numba" if numba_available() else "numpy")
 
 
 def note_selected(engine: str, backend: str) -> None:
@@ -135,6 +198,8 @@ def note_selected(engine: str, backend: str) -> None:
 
 __all__ = [
     "ENV_VAR",
+    "SPARSE_AUTO_MAX_DENSITY",
+    "SPARSE_AUTO_MIN_STATES",
     "DenseOperator",
     "DiscretizationPropagator",
     "KernelBackend",
@@ -152,4 +217,6 @@ __all__ = [
     "note_selected",
     "numba_available",
     "reset_backend_cache",
+    "resolve_static",
+    "select_for_model",
 ]

@@ -137,14 +137,31 @@ class SparseOperator(StepOperator):
                 f"nnz={self.matrix.nnz})")
 
 
-def make_operator(matrix: Matrix) -> StepOperator:
-    """Wrap *matrix* in the cheaper per-step representation.
+#: Valid operator-representation policies for :func:`make_operator`.
+OPERATOR_POLICIES = ("auto", "dense", "sparse")
 
-    Small matrices (and mid-sized genuinely dense ones) go dense --
-    one BLAS-3 call per step beats scipy's CSR dispatch overhead --
-    everything else stays CSR.  The choice never depends on the kernel
-    backend, so wrapped operators can be cached per model and shared.
+
+def make_operator(matrix: Matrix, policy: str = "auto") -> StepOperator:
+    """Wrap *matrix* in the per-step representation *policy* dictates.
+
+    ``"auto"`` (the default heuristic): small matrices (and mid-sized
+    genuinely dense ones) go dense -- one BLAS-3 call per step beats
+    scipy's CSR dispatch overhead -- everything else stays CSR.
+    ``"dense"`` densifies unconditionally (the O(|S|^2)-memory
+    baseline), ``"sparse"`` keeps CSR unconditionally (the sparse
+    kernel backend's choice, so |S| ~ 10^5 never materialises an
+    |S|^2 array).  Backends pick their policy through
+    :attr:`KernelBackend.operator_policy`; operator caches must key on
+    the policy, since the representation now depends on it.
     """
+    if policy == "dense":
+        return DenseOperator(matrix)
+    if policy == "sparse":
+        return SparseOperator(matrix)
+    if policy != "auto":
+        raise ValueError(
+            f"unknown operator policy {policy!r}; expected one of "
+            f"{', '.join(OPERATOR_POLICIES)}")
     if not sp.issparse(matrix):
         return DenseOperator(np.asarray(matrix))
     n = max(int(matrix.shape[0]), 1)
@@ -243,6 +260,15 @@ class KernelBackend(ABC):
     """
 
     name: str = "abstract"
+    #: How :meth:`make_operator` represents step matrices: the
+    #: ``"auto"`` density heuristic for the dense-loop backends, an
+    #: unconditional ``"sparse"`` for the CSR backend (see
+    #: :data:`OPERATOR_POLICIES`).
+    operator_policy: str = "auto"
+
+    def make_operator(self, matrix: Matrix) -> StepOperator:
+        """Wrap *matrix* under this backend's operator policy."""
+        return make_operator(matrix, policy=self.operator_policy)
 
     @abstractmethod
     def shift_down(self, src: np.ndarray, dst: np.ndarray,
@@ -465,7 +491,7 @@ class SericolaSeries:
 __all__ = [
     "DENSE_MAX_STATES", "DENSE_MAX_STATES_IF_DENSE", "DENSE_MIN_DENSITY",
     "DenseOperator", "DiscretizationPropagator", "KernelBackend",
-    "Matrix", "SericolaPlan", "SericolaSeries", "ShiftPlan",
-    "SparseOperator", "StepOperator", "build_sericola_plan",
-    "build_shift_plan", "make_operator",
+    "Matrix", "OPERATOR_POLICIES", "SericolaPlan", "SericolaSeries",
+    "ShiftPlan", "SparseOperator", "StepOperator",
+    "build_sericola_plan", "build_shift_plan", "make_operator",
 ]

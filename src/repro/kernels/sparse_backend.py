@@ -1,0 +1,57 @@
+"""The CSR kernel backend for very large, sparse models.
+
+The per-element loop bodies (reward shifts, first-order scans, the
+Sericola triangular update) operate on the dense ``(rows, cells)``
+weight arrays regardless of backend, so this backend inherits them
+unchanged from :class:`~repro.kernels.numpy_backend.NumpyBackend` --
+they are bit-identical by construction.  What distinguishes the
+backends is the *step operator* representation
+(:attr:`~repro.kernels.base.KernelBackend.operator_policy`):
+
+``sparse``
+    never densifies a step matrix.  Every per-step product is a CSR
+    SpMM batched over the reward-level axis -- one
+    ``csr_matrix @ (|S|, batch)`` product per step, exactly the
+    one-multiply-per-step structure of
+    :class:`~repro.kernels.base.SericolaSeries` and
+    :class:`~repro.kernels.base.DiscretizationPropagator` -- so memory
+    stays O(nnz + |S| * batch) and |S| ~ 10^5 fits comfortably where a
+    densified operator would need an 80 GB array.
+
+``dense``
+    the opposite extreme: densify unconditionally.  This is the
+    explicit O(|S|^2) baseline the scaling benchmarks
+    (``benchmarks/bench_kernels.py``) compare the sparse backend
+    against; it is never auto-selected.
+
+The ``auto`` density heuristic of the default backends already keeps
+big operators CSR (:func:`~repro.kernels.base.make_operator`); the
+sparse backend turns that heuristic into a guarantee, which matters
+for mid-sized models whose reduced/expanded chains straddle the
+heuristic's density thresholds.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.numpy_backend import NumpyBackend
+
+
+class SparseBackend(NumpyBackend):
+    """Kernel backend that keeps every step operator in CSR form."""
+
+    name = "sparse"
+    operator_policy = "sparse"
+
+
+class DenseBackend(NumpyBackend):
+    """Kernel backend that densifies every step operator (baseline).
+
+    Exists for benchmarking and diagnosis only: it makes the
+    O(|S|^2) memory/GEMM cost of dense propagation explicit and
+    selectable (``kernel="dense"`` / ``REPRO_KERNEL=dense``), so the
+    scaling benchmarks can gate the sparse backend's speedup against
+    a real dense baseline instead of the auto heuristic.
+    """
+
+    name = "dense"
+    operator_policy = "dense"

@@ -256,7 +256,8 @@ class CertifiedChecker:
                         lower, upper = \
                             until.time_reward_bounded_until_interval(
                                 self.model, phi, psi, path.time,
-                                path.reward, current)
+                                path.reward, current,
+                                lump=self.checker.lump)
                 except UnsupportedFormulaError:
                     raise
                 except NumericalError as exc:

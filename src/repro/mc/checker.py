@@ -21,7 +21,7 @@ from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import FormulaError
 from repro.logic import ast
 from repro.logic.parser import parse_formula
-from repro.mc import next_op, reward_op, steady, until
+from repro.mc import next_op, prepass, reward_op, steady, until
 from repro.mc.result import CheckResult
 from repro.mc.transform import until_reduction
 from repro.obs import span as obs_span
@@ -55,6 +55,14 @@ class ModelChecker:
         codes and fix hints when an ``ERROR``-severity incompatibility
         is found -- instead of letting the engine fail mid-computation.
         Pass ``False`` to force the run anyway.
+    lump:
+        Lumping pre-pass policy for P3 checks (:mod:`repro.mc.\
+prepass`): ``"auto"`` (default) minimises the Theorem-1-reduced model
+        by ordinary lumpability when it is small enough to try and the
+        quotient is smaller, ``True`` always attempts it, ``False``
+        never does.  The pre-pass is exact -- answers are identical,
+        only the propagated chain shrinks; :attr:`last_lump` reports
+        what the last P3 check did.
 
     Examples
     --------
@@ -74,7 +82,8 @@ class ModelChecker:
                  engine: Union[None, str, JointEngine] = None,
                  epsilon: float = 1e-12,
                  solver: str = "direct",
-                 preflight: bool = True):
+                 preflight: bool = True,
+                 lump: prepass.LumpMode = "auto"):
         if not isinstance(model, MarkovRewardModel):
             model = MarkovRewardModel(model.rate_matrix,
                                       labels=model.labels_as_dict(),
@@ -90,7 +99,15 @@ class ModelChecker:
         self.epsilon = float(epsilon)
         self.solver = solver
         self.preflight = bool(preflight)
+        self.lump = prepass.validate_mode(lump)
         self._cache: Dict[ast.StateFormula, FrozenSet[int]] = {}
+
+    @property
+    def last_lump(self):
+        """Outcome of the most recent lumping pre-pass attempt
+        (:class:`~repro.mc.prepass.PrepassInfo`), or ``None`` when no
+        P3 check has run yet."""
+        return prepass.last_info()
 
     @property
     def engine_stats(self) -> Dict[str, int]:
@@ -199,7 +216,8 @@ EngineStats` as a plain dict: ``cache_hits``/``cache_misses`` against
         phi = set(self.satisfaction_set(left))
         psi = set(self.satisfaction_set(right))
         return until.time_reward_bounded_until_sweep(
-            self.model, phi, psi, times, rewards, self.engine)
+            self.model, phi, psi, times, rewards, self.engine,
+            lump=self.lump)
 
     def until_probability_sweeps(self,
                                  pairs,
@@ -218,14 +236,24 @@ parallel_joint_sweeps`: each worker evaluates one reduced model's grid
         are merged into :attr:`engine_stats`.
         """
         queries = []
+        lifts = []
         for left, right in pairs:
             phi = set(self.satisfaction_set(left))
             psi = set(self.satisfaction_set(right))
             reduced = until_reduction(self.model, phi, psi)
-            queries.append((reduced, times, rewards, psi))
+            pre = prepass.prepare(reduced, psi, mode=self.lump)
+            if pre is not None:
+                queries.append((pre.quotient, times, rewards,
+                                pre.psi_blocks))
+                lifts.append(pre.block_of)
+            else:
+                queries.append((reduced, times, rewards, psi))
+                lifts.append(None)
         grids = parallel_joint_sweeps(self.engine, queries,
                                       max_workers=max_workers)
-        return [np.clip(grid, 0.0, 1.0) for grid in grids]
+        return [np.clip(np.asarray(grid)[..., lift] if lift is not None
+                        else grid, 0.0, 1.0)
+                for grid, lift in zip(grids, lifts)]
 
     def check_certified(self,
                         formula: FormulaLike,
@@ -271,9 +299,17 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
         phi = set(self.satisfaction_set(left))
         psi = set(self.satisfaction_set(right))
         reduced = until_reduction(self.model, phi, psi)
-        partial = self.engine.joint_probability_sweep_partial(
-            reduced, times, rewards, psi, deadline=deadline,
-            max_workers=max_workers)
+        pre = prepass.prepare(reduced, psi, mode=self.lump)
+        if pre is not None:
+            partial = self.engine.joint_probability_sweep_partial(
+                pre.quotient, times, rewards, pre.psi_blocks,
+                deadline=deadline, max_workers=max_workers)
+            partial = replace(partial,
+                              grid=partial.grid[..., pre.block_of])
+        else:
+            partial = self.engine.joint_probability_sweep_partial(
+                reduced, times, rewards, psi, deadline=deadline,
+                max_workers=max_workers)
         return replace(partial, grid=np.clip(partial.grid, 0.0, 1.0))
 
     # ------------------------------------------------------------------
@@ -355,7 +391,8 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
         if self.preflight:
             self._preflight_until(phi, psi, path)
         return until.time_reward_bounded_until(self.model, phi, psi,
-                                               time, reward, self.engine)
+                                               time, reward, self.engine,
+                                               lump=self.lump)
 
     def _preflight_until(self, phi, psi, path: ast.Until) -> None:
         """Static gate before the joint-distribution engine runs.

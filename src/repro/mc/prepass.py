@@ -1,0 +1,181 @@
+"""Automatic lumping pre-pass for the P3 checking pipeline.
+
+The joint-distribution engines see the Theorem-1-reduced model and the
+target indicator ``1_{Sat(Psi)}`` -- nothing else.  Whenever that
+reduced model admits a non-trivial ordinary lumping whose blocks
+neither split the target set nor mix reward rates, the engine can run
+on the quotient instead: by ordinary lumpability the backward joint
+probability ``Pr{Y_t <= r, X_t in Sat(Psi) | X_0 = s}`` is constant on
+each block, so the per-original-state answer is exactly the quotient
+answer read through ``block_of``.  The pre-pass is therefore *exact*
+-- it changes which chain is propagated, never the quantity computed
+-- and it is the lever that turns replica-symmetric 10^5-state models
+into few-hundred-block computations.
+
+:func:`prepare` wraps :func:`repro.ctmc.lumping.try_lump` with the
+pipeline-specific partition seed (target membership) and the cost caps
+that keep a failed attempt cheap, records ``repro_lump_*`` metrics and
+a ``lump_prepass`` span, and remembers the outcome of the most recent
+attempt for ``repro check -v`` reporting
+(:func:`last_info`).  Callers fall back to the unlumped model whenever
+it returns ``None``.
+
+The knob surface (``ModelChecker(lump=...)``, ``repro check
+--no-lump``):
+
+``"auto"``
+    attempt the pre-pass under the state-count cap
+    (:data:`LUMP_MAX_STATES`) and apply it only on models of at least
+    :data:`LUMP_MIN_STATES` states -- the default.  Below that floor a
+    propagation is already trivially cheap, and skipping keeps small
+    checks bit-for-bit identical to the unlumped pipeline (the
+    quotient's aggregated rates are mathematically exact but sum in a
+    different floating-point order);
+``True``
+    attempt it regardless of model size (the pass cap still applies)
+    and apply on any reduction;
+``False``
+    never lump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Union
+
+import numpy as np
+
+from repro.ctmc.lumping import Lumping, try_lump
+from repro.ctmc.mrm import MarkovRewardModel
+from repro.errors import ModelError
+from repro.obs import OBS
+from repro.obs import span as obs_span
+
+#: Largest model the ``"auto"`` mode will attempt to lump; refinement
+#: is one sparse re-bucketing plus a hash-grouping per pass, so this
+#: keeps a *failed* attempt well under the cost of a single
+#: propagation step at the same size.
+LUMP_MAX_STATES = 262_144
+
+#: Refinement-pass budget: a partition still unstable after this many
+#: passes forfeits the attempt (a partial partition is not a valid
+#: lumping).
+LUMP_MAX_PASSES = 64
+
+#: Smallest model ``"auto"`` will actually *apply* a found lumping to;
+#: smaller quotients are still discovered and reported (``check -v``)
+#: but the original chain is propagated -- it is already cheap, and
+#: identical arithmetic beats a few saved states.
+LUMP_MIN_STATES = 512
+
+LumpMode = Union[str, bool]
+
+_MODES = ("auto", True, False)
+
+
+def validate_mode(mode: LumpMode) -> LumpMode:
+    """Normalise and validate a ``lump=`` knob value."""
+    if mode in _MODES:
+        return mode
+    raise ModelError(
+        f"lump mode must be 'auto', True or False, got {mode!r}")
+
+
+@dataclass(frozen=True)
+class LumpPrepass:
+    """A successful pre-pass: the quotient and how to read it back."""
+    lumping: Lumping
+    psi_blocks: FrozenSet[int]
+
+    @property
+    def quotient(self) -> MarkovRewardModel:
+        return self.lumping.quotient
+
+    @property
+    def block_of(self) -> np.ndarray:
+        return self.lumping.block_of
+
+    @property
+    def num_blocks(self) -> int:
+        return self.lumping.num_blocks
+
+
+@dataclass(frozen=True)
+class PrepassInfo:
+    """Outcome of the most recent pre-pass attempt (``check -v``)."""
+    num_states: int
+    num_blocks: Optional[int]
+    applied: bool
+    reason: str
+
+
+_last_info: Optional[PrepassInfo] = None
+
+
+def last_info() -> Optional[PrepassInfo]:
+    """Outcome of the most recent :func:`prepare` call, if any."""
+    return _last_info
+
+
+def _record(info: PrepassInfo) -> None:
+    global _last_info
+    _last_info = info
+    if OBS.enabled:
+        if info.applied:
+            OBS.metrics.counter("repro_lump_applied_total").inc()
+            OBS.metrics.gauge("repro_lump_states_before").set(
+                info.num_states)
+            OBS.metrics.gauge("repro_lump_states_after").set(
+                info.num_blocks)
+        else:
+            OBS.metrics.counter("repro_lump_skipped_total",
+                                reason=info.reason).inc()
+
+
+def prepare(model: MarkovRewardModel,
+            psi: Set[int],
+            mode: LumpMode = "auto") -> Optional[LumpPrepass]:
+    """Attempt to lump the (Theorem-1-reduced) *model* for checking.
+
+    *psi* is the target set the engine will be pointed at; its
+    membership seeds the initial partition so the quotient target is
+    well defined.  Returns ``None`` -- leaving the caller on the
+    original model -- when lumping is disabled, capped out, unsound
+    (impulse rewards) or yields no reduction.
+    """
+    mode = validate_mode(mode)
+    if mode is False:
+        _record(PrepassInfo(model.num_states, None, False, "disabled"))
+        return None
+    n = model.num_states
+    max_states = LUMP_MAX_STATES if mode == "auto" else None
+    if max_states is not None and n > max_states:
+        _record(PrepassInfo(n, None, False, "too_large"))
+        return None
+    if model.has_impulse_rewards:
+        _record(PrepassInfo(n, None, False, "impulse_rewards"))
+        return None
+    seed = np.zeros(n, dtype=np.int64)
+    if psi:
+        seed[np.fromiter(psi, dtype=np.int64, count=len(psi))] = 1
+    with obs_span("lump_prepass", states=n) as span:
+        lumping = try_lump(model,
+                           respect_labels=(),
+                           respect_initial=False,
+                           respect_partition=seed,
+                           max_states=max_states,
+                           max_passes=LUMP_MAX_PASSES)
+        span.set(blocks=(lumping.num_blocks if lumping is not None
+                         else n))
+    if lumping is None:
+        _record(PrepassInfo(n, None, False, "no_reduction"))
+        return None
+    if mode == "auto" and n < LUMP_MIN_STATES:
+        _record(PrepassInfo(n, lumping.num_blocks, False,
+                            "small_model"))
+        return None
+    psi_blocks = frozenset(
+        int(b) for b in np.unique(lumping.block_of[list(psi)])
+    ) if psi else frozenset()
+    _record(PrepassInfo(n, lumping.num_blocks, True, "applied"))
+    return LumpPrepass(lumping=lumping, psi_blocks=psi_blocks)

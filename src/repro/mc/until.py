@@ -30,6 +30,7 @@ from repro.algorithms.base import JointEngine
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import UnsupportedFormulaError
 from repro.logic.intervals import Interval
+from repro.mc import prepass
 from repro.mc.transform import (until_reduction, dual_model,
                                 eliminate_zero_reward_states)
 from repro.numerics.dtmc import reachability_probabilities
@@ -131,12 +132,18 @@ def time_reward_bounded_until(model: MarkovRewardModel,
                               psi: Set[int],
                               time: Interval,
                               reward: Interval,
-                              engine: JointEngine) -> np.ndarray:
+                              engine: JointEngine,
+                              lump: prepass.LumpMode = "auto"
+                              ) -> np.ndarray:
     """Per-state probability of ``Phi U_I^J Psi`` (property class P3).
 
     Theorem 1 reduces the problem to the joint probability
     ``Pr{Y_t <= r, X_t in Sat(Psi)}`` on the transformed model, which
-    *engine* computes (Theorem 2).
+    *engine* computes (Theorem 2).  When the reduced model admits a
+    non-trivial ordinary lumping the engine runs on the quotient and
+    the per-block answers are read back through ``block_of`` -- an
+    exact rewrite, see :mod:`repro.mc.prepass` (*lump* = ``False``
+    disables it).
 
     A single batched :meth:`JointEngine.joint_probability_vector` call
     covers **all** initial states in one propagation (no per-state
@@ -154,8 +161,14 @@ def time_reward_bounded_until(model: MarkovRewardModel,
     if math.isinf(reward.upper):
         return time_bounded_until(model, phi, psi, time)
     reduced = until_reduction(model, phi, psi)
-    vector = engine.joint_probability_vector(
-        reduced, time.upper, reward.upper, psi)
+    pre = prepass.prepare(reduced, psi, mode=lump)
+    if pre is not None:
+        vector = engine.joint_probability_vector(
+            pre.quotient, time.upper, reward.upper, pre.psi_blocks)
+        vector = vector[pre.block_of]
+    else:
+        vector = engine.joint_probability_vector(
+            reduced, time.upper, reward.upper, psi)
     return np.clip(vector, 0.0, 1.0)
 
 
@@ -164,7 +177,8 @@ def time_reward_bounded_until_interval(model: MarkovRewardModel,
                                        psi: Set[int],
                                        time: Interval,
                                        reward: Interval,
-                                       engine: JointEngine
+                                       engine: JointEngine,
+                                       lump: prepass.LumpMode = "auto"
                                        ) -> "tuple[np.ndarray, np.ndarray]":
     """Certified per-state bounds on ``Phi U_I^J Psi`` (class P3).
 
@@ -173,7 +187,9 @@ def time_reward_bounded_until_interval(model: MarkovRewardModel,
     :meth:`~repro.algorithms.base.JointEngine.\
 joint_probability_interval`) is a sound enclosure of the until
     probability; returns ``(lower, upper)`` vectors with
-    ``lower[s] <= Pr{s |= Phi U_I^J Psi} <= upper[s]``.
+    ``lower[s] <= Pr{s |= Phi U_I^J Psi} <= upper[s]``.  The lumping
+    pre-pass (:mod:`repro.mc.prepass`) composes soundly: the quotient
+    is exactly equivalent, so its enclosure lifts per block.
     """
     if time.lower != 0.0 or reward.lower != 0.0:
         raise UnsupportedFormulaError(
@@ -184,8 +200,14 @@ joint_probability_interval`) is a sound enclosure of the until
             "certified intervals need finite time and reward bounds; "
             "check unbounded formulas with the exact P0-P2 procedures")
     reduced = until_reduction(model, phi, psi)
-    lower, upper = engine.joint_probability_interval(
-        reduced, time.upper, reward.upper, psi)
+    pre = prepass.prepare(reduced, psi, mode=lump)
+    if pre is not None:
+        lower, upper = engine.joint_probability_interval(
+            pre.quotient, time.upper, reward.upper, pre.psi_blocks)
+        lower, upper = lower[pre.block_of], upper[pre.block_of]
+    else:
+        lower, upper = engine.joint_probability_interval(
+            reduced, time.upper, reward.upper, psi)
     return np.clip(lower, 0.0, 1.0), np.clip(upper, 0.0, 1.0)
 
 
@@ -194,7 +216,9 @@ def time_reward_bounded_until_sweep(model: MarkovRewardModel,
                                     psi: Set[int],
                                     times: Sequence[float],
                                     rewards: Sequence[float],
-                                    engine: JointEngine) -> np.ndarray:
+                                    engine: JointEngine,
+                                    lump: prepass.LumpMode = "auto"
+                                    ) -> np.ndarray:
     """P3 probabilities for a whole ``(t, r)`` grid of bounds.
 
     Returns the ``(len(times), len(rewards), |S|)`` array whose cell
@@ -218,5 +242,12 @@ def time_reward_bounded_until_sweep(model: MarkovRewardModel,
                 "sweep grids need finite reward bounds; check an "
                 "unbounded formula separately")
     reduced = until_reduction(model, phi, psi)
-    grid = engine.joint_probability_sweep(reduced, times, rewards, psi)
+    pre = prepass.prepare(reduced, psi, mode=lump)
+    if pre is not None:
+        grid = np.asarray(engine.joint_probability_sweep(
+            pre.quotient, times, rewards, pre.psi_blocks))
+        grid = grid[..., pre.block_of]
+    else:
+        grid = engine.joint_probability_sweep(reduced, times, rewards,
+                                              psi)
     return np.clip(grid, 0.0, 1.0)

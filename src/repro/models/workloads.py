@@ -16,7 +16,18 @@ These provide controlled workloads for the scaling/ablation studies:
   [Haverkort, Hermanns, Katoen 2000] cited by the paper;
 * :func:`grid_mrm` -- a ``width x height`` lattice random walk whose
   state count scales quadratically (the |S| ~ 10^4 workload of
-  ``benchmarks/bench_kernels.py``).
+  ``benchmarks/bench_kernels.py``);
+* :func:`crowd_mrm` -- ``members`` replicated pedestrians on a ring of
+  ``sites``: a replica-symmetric model that the lumping pre-pass
+  collapses from ``sites * members`` states to ``sites`` blocks;
+* :func:`virus_mrm` -- a density-dependent SIR epidemic over
+  ``(infected, recovered)`` counts, ``(n + 1)(n + 2) / 2`` states with
+  *no* non-trivial lumping -- the sparse-backend stress test.
+
+The large generators (``grid_mrm`` aside, which predates them) build
+their CSR matrices directly from vectorised index arithmetic instead
+of going through :class:`~repro.ctmc.builder.ModelBuilder`, so
+constructing a |S| ~ 10^5 instance takes milliseconds, not minutes.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.ctmc.builder import ModelBuilder
 from repro.ctmc.mrm import MarkovRewardModel
@@ -207,3 +219,141 @@ def grid_mrm(width: int,
                 builder.add_transition(here, index(x, y + 1), rate)
                 builder.add_transition(index(x, y + 1), here, rate)
     return builder.build(initial_state=0)
+
+
+def crowd_mrm(sites: int,
+              members: int,
+              forward_rate: float = 2.0,
+              backward_rate: float = 1.0,
+              shuffle_rate: float = 0.25) -> MarkovRewardModel:
+    """``members`` replicated pedestrians on a ring of ``sites``.
+
+    State ``(site, member)`` tracks which *member copy* of the crowd a
+    pedestrian belongs to while walking a ring of sites: forward along
+    the ring at a site-dependent rate, backward at a constant rate,
+    plus a slow "shuffle" that moves forward while switching to the
+    next member copy.  Every rate, the reward (the congestion class of
+    the site) and the labels depend on the **site only**, so the
+    ``sites * members`` states are replica-symmetric in the member
+    axis: the coarsest ordinary lumping has exactly ``sites`` blocks,
+    whatever ``members`` is.  That makes this the canonical pre-pass
+    workload -- |S| = 10^5 checks collapse to a few hundred propagated
+    states -- and the shuffle keeps the member axis genuinely
+    connected, so the reduction is *discovered*, not an artefact of a
+    block-diagonal chain.  The congestion classes follow a fixed
+    *aperiodic* pseudo-random sequence over the sites: a periodic
+    pattern (say ``site % 3``) would leave rotational near-symmetries
+    that partition refinement can only break one ring step per pass,
+    turning the pre-pass into O(sites) passes; the aperiodic colouring
+    separates the site axis within a handful of passes.
+
+    Labels: ``lobby`` (site 0), ``exit`` (the last site), ``crowded``
+    (sites with congestion class 2).  All initial mass sits on state
+    ``(0, 0)``.
+    """
+    if sites < 2 or members < 1:
+        raise ValueError("crowd_mrm needs sites >= 2 and members >= 1")
+    n = sites * members
+    state = np.arange(n, dtype=np.int64)
+    site = state // members
+    member = state % members
+    # Deterministic aperiodic congestion class per site (Knuth-style
+    # multiplicative hash -- reproducible, no RNG state).
+    site_class = ((np.arange(sites, dtype=np.uint64)
+                   * np.uint64(2654435761)) >> np.uint64(8)
+                  ).astype(np.int64) % 3
+    congestion = site_class[site]
+    site_forward = forward_rate * (1.0 + 0.5 * congestion.astype(float))
+
+    def index(new_site: np.ndarray, new_member: np.ndarray
+              ) -> np.ndarray:
+        return new_site * members + new_member
+
+    rows = [state, state]
+    cols = [index((site + 1) % sites, member),
+            index((site - 1) % sites, member)]
+    vals = [site_forward, np.full(n, float(backward_rate))]
+    if members > 1 and shuffle_rate > 0.0:
+        rows.append(state)
+        cols.append(index((site + 1) % sites, (member + 1) % members))
+        vals.append(np.full(n, float(shuffle_rate)))
+    rates = sp.coo_matrix(
+        (np.concatenate(vals),
+         (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n)).tocsr()
+
+    rewards = congestion.astype(float)
+    labels = {
+        "lobby": set(np.flatnonzero(site == 0).tolist()),
+        "exit": set(np.flatnonzero(site == sites - 1).tolist()),
+        "crowded": set(np.flatnonzero(congestion == 2).tolist()),
+    }
+    initial = np.zeros(n)
+    initial[0] = 1.0
+    return MarkovRewardModel(rates, rewards=rewards, labels=labels,
+                             initial_distribution=initial)
+
+
+def virus_mrm(population: int,
+              infection_rate: float = 2.0,
+              recovery_rate: float = 1.0,
+              outbreak_fraction: float = 0.25) -> MarkovRewardModel:
+    """A density-dependent SIR epidemic over population counts.
+
+    State ``(i, r)`` has ``i`` infected, ``r`` recovered and
+    ``population - i - r`` susceptible individuals; infection fires at
+    rate ``infection_rate * i * s / population`` and recovery at
+    ``recovery_rate * i``.  The reward rate is the number of infected
+    (accumulated reward = person-time of infection, the epidemic's
+    burden), so reward classes, labels and dynamics all vary with the
+    exact count pair: the model has **no** non-trivial ordinary
+    lumping, which makes it the counterweight to :func:`crowd_mrm` --
+    the sparse kernel backend is the only thing that scales it.  The
+    state count is ``(population + 1)(population + 2) / 2``
+    (``population = 450`` gives |S| = 101,926).
+
+    Labels: ``outbreak`` (at least ``outbreak_fraction`` of the
+    population infected), ``extinct`` (no infected left).  All initial
+    mass sits on ``(1, 0)`` -- one index case.
+    """
+    if population < 2:
+        raise ValueError("virus_mrm needs a population of at least 2")
+    n = population
+    # Enumerate (i, r) with i + r <= n, i-major: counts[i] = n - i + 1.
+    counts = n + 1 - np.arange(n + 1, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    total = int(counts.sum())
+    infected = np.repeat(np.arange(n + 1, dtype=np.int64), counts)
+    recovered = np.arange(total, dtype=np.int64) - starts[infected]
+    susceptible = n - infected - recovered
+
+    rows = []
+    cols = []
+    vals = []
+    can_infect = (infected >= 1) & (susceptible >= 1)
+    src = np.flatnonzero(can_infect)
+    rows.append(src)
+    cols.append(starts[infected[src] + 1] + recovered[src])
+    vals.append(infection_rate * infected[src] * susceptible[src]
+                / float(n))
+    can_recover = infected >= 1
+    src = np.flatnonzero(can_recover)
+    rows.append(src)
+    cols.append(starts[infected[src] - 1] + recovered[src] + 1)
+    vals.append(recovery_rate * infected[src].astype(float))
+    rates = sp.coo_matrix(
+        (np.concatenate(vals),
+         (np.concatenate(rows), np.concatenate(cols))),
+        shape=(total, total)).tocsr()
+
+    rewards = infected.astype(float)
+    threshold = max(1, int(np.ceil(outbreak_fraction * n)))
+    labels = {
+        "outbreak": set(np.flatnonzero(
+            infected >= threshold).tolist()),
+        "extinct": set(np.flatnonzero(infected == 0).tolist()),
+    }
+    initial = np.zeros(total)
+    initial[starts[1]] = 1.0  # state (i=1, r=0)
+    return MarkovRewardModel(rates, rewards=rewards, labels=labels,
+                             initial_distribution=initial)

@@ -37,26 +37,31 @@ Kernel = Union[str, KernelBackend, None]
 
 
 def uniformized_operator(model: CTMC, rate: float,
-                         transposed: bool = False) -> StepOperator:
+                         transposed: bool = False,
+                         policy: str = "auto") -> StepOperator:
     """The uniformised DTMC matrix wrapped as a cached step operator.
 
-    Small chains go dense (one BLAS call per series term), large ones
-    stay CSR -- see :func:`repro.kernels.make_operator`.  Cached per
-    ``(model, rate, orientation)`` in the shared matrix cache; the
-    representation never depends on the kernel backend, so operators
-    are shared across engines and backends.
+    Under the default ``"auto"`` policy small chains go dense (one
+    BLAS call per series term) and large ones stay CSR -- see
+    :func:`repro.kernels.make_operator`; the sparse/dense backends
+    pin the representation through their
+    :attr:`~repro.kernels.KernelBackend.operator_policy` instead.
+    Cached per ``(model, rate, orientation)`` in the shared matrix
+    cache; non-default policies get their own key element, since the
+    representation then depends on the requesting backend.
     """
     # Imported lazily: repro.algorithms imports this module during its
     # own package initialisation.
     from repro.algorithms.cache import matrix_cache
-    key = ("uniform-op-T" if transposed else "uniform-op",
-           model.fingerprint, float(rate))
+    tag = "uniform-op-T" if transposed else "uniform-op"
+    key = ((tag, model.fingerprint, float(rate)) if policy == "auto"
+           else (tag, model.fingerprint, float(rate), policy))
     operator = matrix_cache.get(key)
     if operator is None:
         matrix = model.uniformized_dtmc_matrix(rate)
         if transposed:
             matrix = matrix.transpose().tocsr()
-        operator = make_operator(matrix)
+        operator = make_operator(matrix, policy=policy)
         matrix_cache.put(key, operator)
     return operator
 
@@ -147,8 +152,10 @@ def transient_distribution(model: CTMC,
             else float(uniformization_rate))
     if rate == 0.0:
         return vector  # no transitions at all
-    operator = uniformized_operator(model, rate)
-    hist = _step_histogram(get_backend(kernel), metrics_engine)
+    backend = get_backend(kernel)
+    operator = uniformized_operator(model, rate,
+                                    policy=backend.operator_policy)
+    hist = _step_histogram(backend, metrics_engine)
     weights = poisson_weights(rate * t, epsilon=epsilon)
 
     result = np.zeros_like(vector)
@@ -219,8 +226,10 @@ def transient_target_probabilities(model: CTMC,
             else float(uniformization_rate))
     if t == 0.0 or rate == 0.0:
         return vector
-    operator = uniformized_operator(model, rate)
-    hist = _step_histogram(get_backend(kernel), metrics_engine)
+    backend = get_backend(kernel)
+    operator = uniformized_operator(model, rate,
+                                    policy=backend.operator_policy)
+    hist = _step_histogram(backend, metrics_engine)
     weights = poisson_weights(rate * t, epsilon=epsilon)
     result = np.zeros_like(vector)
     record, tail = _start_record(weights, variant="backward")
@@ -290,8 +299,10 @@ def transient_target_probabilities_sweep(model: CTMC,
             weight_rows.append(poisson_weights(rate * t, epsilon=epsilon))
     depth = max((w.right for w in weight_rows if w is not None),
                 default=0)
-    operator = uniformized_operator(model, rate)
-    hist = _step_histogram(get_backend(kernel), metrics_engine)
+    backend = get_backend(kernel)
+    operator = uniformized_operator(model, rate,
+                                    policy=backend.operator_policy)
+    hist = _step_histogram(backend, metrics_engine)
     with obs_span("uniformisation_series", depth=depth,
                   kind="backward_sweep", points=len(times)):
         for k in range(depth + 1):

@@ -43,7 +43,7 @@ from typing import Any, Iterator, Optional
 from .convergence import ConvergenceRecorder, SeriesRecord
 from .metrics import (DEFAULT_BUCKETS, ENGINE_STAT_COUNTERS, Counter,
                       Gauge, Histogram, MetricsRegistry,
-                      record_engine_stats)
+                      peak_rss_bytes, record_engine_stats)
 from .trace import _CURRENT, Span, Tracer
 
 __all__ = [
@@ -51,6 +51,7 @@ __all__ = [
     "Tracer", "Span", "MetricsRegistry", "Counter", "Gauge",
     "Histogram", "ConvergenceRecorder", "SeriesRecord",
     "DEFAULT_BUCKETS", "ENGINE_STAT_COUNTERS", "record_engine_stats",
+    "peak_rss_bytes",
 ]
 
 #: Process-wide metrics registry -- always on (see module docstring).

@@ -22,8 +22,14 @@ the threaded fan-out can record concurrently.
 
 from __future__ import annotations
 
+import sys
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -32,6 +38,23 @@ LabelKey = Tuple[Tuple[str, str], ...]
 #: land in the implicit +Inf bucket.
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
     10.0 ** (-6 + 0.5 * k) for k in range(19))
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    Reads ``ru_maxrss`` from :func:`resource.getrusage`; the kernel
+    reports the high-water mark, so a single sample at any point
+    captures the maximum over the whole process lifetime.  Linux
+    reports KiB, macOS bytes; returns 0 where :mod:`resource` is
+    unavailable (non-POSIX).
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(rss)
+    return int(rss) * 1024
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:

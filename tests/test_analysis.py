@@ -224,6 +224,32 @@ class TestModelPasses:
         # without a time bound there is no workload to predict
         assert "M008" not in codes(lint_model(model))
 
+    def test_m009_lumpable_model(self):
+        from repro.models.workloads import crowd_mrm
+        model = crowd_mrm(6, 5)  # replica-symmetric: 30 -> 6 blocks
+        report = lint_model(model)
+        assert "M009" in codes(report)
+        finding = next(d for d in report if d.code == "M009")
+        assert finding.severity.name == "INFO"
+        assert "6 blocks" in finding.message
+        assert 'lump="auto"' in finding.hint
+
+    def test_m009_silent_on_unlumpable_and_impulse_models(self):
+        builder = ModelBuilder()
+        builder.add_state("a", reward=0.0)
+        builder.add_state("b", reward=1.0)
+        builder.add_transition("a", "b", 1.0)
+        builder.add_transition("b", "a", 2.0)
+        assert "M009" not in codes(lint_model(builder.build()))
+        impulse = ModelBuilder()
+        for s in ("a", "b", "c"):
+            impulse.add_state(s, reward=1.0)
+        impulse.add_transition("a", "b", 1.0, impulse=1.0)
+        impulse.add_transition("a", "c", 1.0, impulse=1.0)
+        impulse.add_transition("b", "a", 1.0)
+        impulse.add_transition("c", "a", 1.0)
+        assert "M009" not in codes(lint_model(impulse.build()))
+
 
 # ----------------------------------------------------------------------
 # formula passes

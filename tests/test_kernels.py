@@ -16,7 +16,7 @@ import sys
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro import kernels
@@ -24,7 +24,7 @@ from repro.algorithms import (DiscretizationEngine, ErlangEngine,
                               SericolaEngine, clear_caches)
 from repro.algorithms.cache import matrix_cache
 from repro.ctmc import ModelBuilder
-from repro.errors import NumericalError
+from repro.errors import ModelError, NumericalError
 from repro.kernels import (build_shift_plan, get_backend,
                            numba_available, reset_backend_cache)
 from repro.models import workloads
@@ -90,7 +90,8 @@ class TestBackendSelection:
                             raising=False)
         reset_backend_cache()
         assert not numba_available()
-        assert kernels.available_backends() == ["numpy"]
+        assert kernels.available_backends() == ["numpy", "sparse",
+                                                "dense"]
         with pytest.warns(RuntimeWarning, match="falling back"):
             backend = get_backend("numba")
         assert backend.name == "numpy"
@@ -157,6 +158,7 @@ def _all_backends():
     names = ["numpy"]
     if numba_available():
         names.append("numba")
+    names.extend(["sparse", "dense"])
     return names
 
 
@@ -237,8 +239,11 @@ class TestEngineIntegration:
             roots = list(OBS.tracer.roots)
             snapshot = OBS.metrics.snapshot()
         assert [s.name for s in roots] == ["final_density_batch"]
+        # The engine is unpinned ("auto"); the histogram is labelled
+        # with the backend the run actually resolved to.
+        assert engine.kernel == "auto"
         label = (f'{{engine="discretization",'
-                 f'kernel="{engine.kernel}"}}')
+                 f'kernel="{engine.last_kernel}"}}')
         histogram = snapshot["repro_matvec_block_seconds"][label]
         assert histogram["count"] > 0
         gauge = snapshot["repro_kernel_selected"]
@@ -277,6 +282,70 @@ def _random_impulse_mrm(num_states: int, seed: int):
         builder.add_transition(s, (s + 1) % num_states,
                                float(rng.uniform(0.2, 2.0)))
     return builder.build(initial_state=0)
+
+
+class TestSparseBackendAgreement:
+    """The CSR-pinned backend must match numpy to <= 1e-12 everywhere
+    (always runnable: scipy is a hard dependency)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_states=st.integers(min_value=2, max_value=7),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_discretization_with_impulses(self, num_states, seed):
+        try:
+            model = _random_impulse_mrm(num_states, seed)
+        except ModelError:
+            # The random generator may close the ring over a transition
+            # it already drew with a different impulse; skip the draw.
+            assume(False)
+        # A step that divides t = 1.0 and keeps every stay probability
+        # positive, however fast the drawn exit rates are.
+        step = 1.0 / max(4, int(np.ceil(model.max_exit_rate / 0.9)))
+        indicator = np.ones(model.num_states)
+        indicator[0] = 0.0
+        values = []
+        for backend in ("numpy", "sparse", "dense"):
+            clear_caches()
+            engine = DiscretizationEngine(step=step, kernel=backend)
+            values.append(engine.joint_probability_from(
+                model, 1.0, 2.0, indicator, 0))
+        assert abs(values[1] - values[0]) <= CROSS_BACKEND_TOLERANCE
+        assert abs(values[2] - values[0]) <= CROSS_BACKEND_TOLERANCE
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_states=st.integers(min_value=2, max_value=6),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_sericola_random_models(self, num_states, seed):
+        model = workloads.random_mrm(num_states, seed=seed)
+        target = [model.num_states - 1]
+        vectors = []
+        for backend in ("numpy", "sparse"):
+            clear_caches()
+            engine = SericolaEngine(epsilon=1e-8, kernel=backend)
+            vectors.append(engine.joint_probability_vector(
+                model, 1.5, 1.0, target))
+        assert np.max(np.abs(vectors[0] - vectors[1])) \
+            <= CROSS_BACKEND_TOLERANCE
+
+    def test_erlang_case(self, flip_flop):
+        values = []
+        for backend in ("numpy", "sparse"):
+            clear_caches()
+            engine = ErlangEngine(phases=16, kernel=backend)
+            values.append(engine.joint_probability_from(
+                flip_flop, 1.0, 1.0, np.array([0.0, 1.0]), 0))
+        assert abs(values[0] - values[1]) <= CROSS_BACKEND_TOLERANCE
+
+    def test_auto_selects_sparse_on_large_sparse_models(self):
+        sparse_backend = kernels.select_for_model(
+            kernels.SPARSE_AUTO_MIN_STATES, 4 * kernels.SPARSE_AUTO_MIN_STATES)
+        assert sparse_backend.name == "sparse"
+        small = kernels.select_for_model(8, 20)
+        assert small.name in ("numpy", "numba")
+        # Dense matrices stay on the dense-loop backends whatever |S|.
+        n = kernels.SPARSE_AUTO_MIN_STATES
+        dense_model = kernels.select_for_model(n, n * n)
+        assert dense_model.name in ("numpy", "numba")
 
 
 @pytest.mark.skipif(not numba_available(), reason="numba not installed")

@@ -1,0 +1,258 @@
+"""End-to-end tests for the automatic lumping pre-pass.
+
+The pre-pass (:mod:`repro.mc.prepass`) may change which chain the
+joint-distribution engines propagate, but never the answer: forced
+lumping must agree with the unlumped pipeline to 1e-12 everywhere, and
+the default ``"auto"`` mode must keep small checks *bit-identical*
+(it only applies a found lumping on models of >= 512 states).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.algorithms import DiscretizationEngine, clear_caches
+from repro.ctmc import ModelBuilder, io
+from repro.errors import ModelError
+from repro.logic.intervals import Interval
+from repro.mc import prepass, until
+from repro.mc.checker import ModelChecker
+from repro.models import adhoc
+from repro.models.workloads import crowd_mrm
+from repro.obs import OBS
+
+#: Forced-lump agreement bound (quotient arithmetic reorders sums).
+FORCED_TOLERANCE = 1e-12
+
+TIME = Interval(0.0, 1.0)
+REWARD = Interval(0.0, 2.0)
+
+
+def _crowd_sets(model):
+    """(phi, psi) = (all states, the crowded states)."""
+    phi = set(range(model.num_states))
+    psi = set(model.states_with("crowded"))
+    return phi, psi
+
+
+def _engine():
+    return DiscretizationEngine(step=1.0 / 8)
+
+
+# ---------------------------------------------------------------------------
+# Exactness: forced lumping vs the unlumped pipeline
+
+
+class TestForcedLumpAgreement:
+    @pytest.fixture
+    def crowd(self):
+        return crowd_mrm(12, 30)  # 360 states, lumps below 360 blocks
+
+    def test_vector_agrees(self, crowd):
+        phi, psi = _crowd_sets(crowd)
+        clear_caches()
+        unlumped = until.time_reward_bounded_until(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump=False)
+        clear_caches()
+        lumped = until.time_reward_bounded_until(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump=True)
+        info = prepass.last_info()
+        assert info is not None and info.applied
+        assert info.num_blocks < info.num_states
+        assert np.max(np.abs(lumped - unlumped)) <= FORCED_TOLERANCE
+
+    def test_interval_agrees(self, crowd):
+        phi, psi = _crowd_sets(crowd)
+        clear_caches()
+        lo0, hi0 = until.time_reward_bounded_until_interval(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump=False)
+        clear_caches()
+        lo1, hi1 = until.time_reward_bounded_until_interval(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump=True)
+        assert prepass.last_info().applied
+        assert np.max(np.abs(lo1 - lo0)) <= FORCED_TOLERANCE
+        assert np.max(np.abs(hi1 - hi0)) <= FORCED_TOLERANCE
+
+    def test_sweep_agrees(self, crowd):
+        phi, psi = _crowd_sets(crowd)
+        times = [0.5, 1.0]
+        rewards = [1.0, 2.0]
+        clear_caches()
+        grid0 = until.time_reward_bounded_until_sweep(
+            crowd, phi, psi, times, rewards, _engine(), lump=False)
+        clear_caches()
+        grid1 = until.time_reward_bounded_until_sweep(
+            crowd, phi, psi, times, rewards, _engine(), lump=True)
+        assert prepass.last_info().applied
+        assert grid1.shape == (2, 2, crowd.num_states)
+        assert np.max(np.abs(grid1 - grid0)) <= FORCED_TOLERANCE
+
+    @settings(max_examples=10, deadline=None)
+    @given(sites=st.integers(min_value=3, max_value=10),
+           members=st.integers(min_value=2, max_value=8),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_random_labelled_mrms(self, sites, members, seed):
+        """Random crowd geometries + random psi: lumped == unlumped."""
+        model = crowd_mrm(sites, members)
+        rng = np.random.default_rng(seed)
+        phi = set(range(model.num_states))
+        # Any union of site columns is a valid random labelling.
+        chosen = rng.choice(sites, size=max(1, sites // 2), replace=False)
+        psi = {int(s) for s in range(model.num_states)
+               if (s // members) in chosen}
+        clear_caches()
+        unlumped = until.time_reward_bounded_until(
+            model, phi, psi, TIME, REWARD, _engine(), lump=False)
+        clear_caches()
+        lumped = until.time_reward_bounded_until(
+            model, phi, psi, TIME, REWARD, _engine(), lump=True)
+        assert np.max(np.abs(lumped - unlumped)) <= FORCED_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity of the default "auto" mode on small models
+
+
+class TestAutoModeBitIdentity:
+    def test_small_model_propagates_original_chain(self):
+        crowd = crowd_mrm(12, 30)  # well below LUMP_MIN_STATES
+        phi, psi = _crowd_sets(crowd)
+        clear_caches()
+        unlumped = until.time_reward_bounded_until(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump=False)
+        clear_caches()
+        auto = until.time_reward_bounded_until(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump="auto")
+        info = prepass.last_info()
+        assert not info.applied and info.reason == "small_model"
+        assert info.num_blocks is not None  # found, reported, not used
+        np.testing.assert_array_equal(auto, unlumped)
+
+    def test_large_model_applies(self):
+        crowd = crowd_mrm(40, 20)  # 800 states >= LUMP_MIN_STATES
+        phi, psi = _crowd_sets(crowd)
+        clear_caches()
+        auto = until.time_reward_bounded_until(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump="auto")
+        info = prepass.last_info()
+        assert info.applied and info.reason == "applied"
+        clear_caches()
+        unlumped = until.time_reward_bounded_until(
+            crowd, phi, psi, TIME, REWARD, _engine(), lump=False)
+        assert np.max(np.abs(auto - unlumped)) <= FORCED_TOLERANCE
+
+    @pytest.mark.parametrize("formula", [adhoc.Q1, adhoc.Q2, adhoc.Q3])
+    def test_adhoc_q_formulas_bit_identical(self, formula):
+        """Q1-Q3 under the default pipeline == lump=False, bitwise."""
+        clear_caches()
+        default = ModelChecker(adhoc.adhoc_model()).check(formula)
+        clear_caches()
+        disabled = ModelChecker(adhoc.adhoc_model(),
+                                lump=False).check(formula)
+        assert default.states == disabled.states
+        np.testing.assert_array_equal(default.probabilities,
+                                      disabled.probabilities)
+
+
+# ---------------------------------------------------------------------------
+# prepare() outcomes and invariants
+
+
+class TestPrepare:
+    def test_psi_blocks_are_unions_of_psi_states(self):
+        crowd = crowd_mrm(20, 30)
+        _, psi = _crowd_sets(crowd)
+        pre = prepass.prepare(crowd, psi, mode=True)
+        assert pre is not None
+        in_psi_block = np.isin(pre.block_of,
+                               sorted(int(b) for b in pre.psi_blocks))
+        expected = np.zeros(crowd.num_states, dtype=bool)
+        expected[sorted(psi)] = True
+        np.testing.assert_array_equal(in_psi_block, expected)
+
+    def test_impulse_rewards_skip(self):
+        builder = ModelBuilder()
+        builder.add_state("a", reward=1.0)
+        builder.add_state("b", reward=1.0)
+        builder.add_transition("a", "b", 1.0, impulse=2.0)
+        builder.add_transition("b", "a", 1.0)
+        model = builder.build()
+        assert prepass.prepare(model, {1}, mode=True) is None
+        assert prepass.last_info().reason == "impulse_rewards"
+
+    def test_disabled(self):
+        crowd = crowd_mrm(4, 4)
+        assert prepass.prepare(crowd, {0}, mode=False) is None
+        assert prepass.last_info().reason == "disabled"
+
+    def test_too_large_cap(self, monkeypatch):
+        monkeypatch.setattr(prepass, "LUMP_MAX_STATES", 8)
+        crowd = crowd_mrm(4, 4)
+        site0 = set(range(4))  # a whole site: respects the symmetry
+        assert prepass.prepare(crowd, site0, mode="auto") is None
+        assert prepass.last_info().reason == "too_large"
+        # Forced mode ignores the auto cap.
+        assert prepass.prepare(crowd, site0, mode=True) is not None
+
+    def test_no_reduction(self):
+        builder = ModelBuilder()
+        builder.add_state("a", reward=0.0)
+        builder.add_state("b", reward=1.0)
+        builder.add_transition("a", "b", 1.0)
+        builder.add_transition("b", "a", 2.0)
+        model = builder.build()
+        assert prepass.prepare(model, {1}, mode=True) is None
+        assert prepass.last_info().reason == "no_reduction"
+
+    def test_validate_mode_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            prepass.validate_mode("yes")
+        with pytest.raises(ModelError):
+            ModelChecker(crowd_mrm(3, 2), lump="always")
+
+    def test_metrics_and_span(self):
+        crowd = crowd_mrm(20, 30)
+        _, psi = _crowd_sets(crowd)
+        with OBS.capture(reset_metrics=True):
+            pre = prepass.prepare(crowd, psi, mode=True)
+            snapshot = OBS.metrics.snapshot()
+            spans = [s.name for s in OBS.tracer.roots]
+        assert pre is not None
+        assert "lump_prepass" in spans
+        assert snapshot["repro_lump_applied_total"][""] == 1.0
+        assert snapshot["repro_lump_states_before"][""] == 600.0
+        assert snapshot["repro_lump_states_after"][""] == pre.num_blocks
+
+
+# ---------------------------------------------------------------------------
+# Checker and CLI surface
+
+
+class TestCheckerSurface:
+    def test_last_lump_reports(self):
+        checker = ModelChecker(crowd_mrm(40, 20))
+        checker.check("P>=0.0 [ true U[0,1][0,2] crowded ]")
+        info = checker.last_lump
+        assert info.applied
+        assert info.num_blocks < info.num_states
+
+    def test_cli_no_lump(self, tmp_path, capsys):
+        io.save_mrm(crowd_mrm(6, 4), tmp_path / "crowd")
+        code = cli.main([
+            "check", "--model", str(tmp_path / "crowd"),
+            "--formula", "P>=0.0 [ true U[0,1][0,2] crowded ]",
+            "--no-lump", "-v"])
+        assert code == 0
+        assert ("lump: not applied (disabled)"
+                in capsys.readouterr().err)
+
+    def test_cli_verbose_reports_blocks(self, tmp_path, capsys):
+        io.save_mrm(crowd_mrm(6, 4), tmp_path / "crowd")
+        code = cli.main([
+            "check", "--model", str(tmp_path / "crowd"),
+            "--formula", "P>=0.0 [ true U[0,1][0,2] crowded ]", "-v"])
+        assert code == 0
+        # Small model: the lumping is found and reported, not applied.
+        assert "blocks found" in capsys.readouterr().err

@@ -99,3 +99,72 @@ class TestCycle:
         for s in range(5):
             assert model.rate(s, (s + 1) % 5) == 2.0
         assert model.num_transitions == 5
+
+
+class TestCrowd:
+    def test_shape_and_labels(self):
+        model = workloads.crowd_mrm(10, 7)
+        assert model.num_states == 70
+        # lobby = site 0, exit = last site (7 members each).
+        assert model.states_with("lobby") == frozenset(range(7))
+        assert model.states_with("exit") == frozenset(range(63, 70))
+        assert model.initial_distribution[0] == 1.0
+
+    def test_member_axis_is_replica_symmetric(self):
+        from repro.ctmc.lumping import try_lump
+        model = workloads.crowd_mrm(10, 7)
+        lumping = try_lump(model, respect_initial=False)
+        assert lumping is not None
+        assert lumping.num_blocks == 10
+        # Every block is one site: all members share a block.
+        sites = np.arange(70) // 7
+        for site in range(10):
+            blocks = set(lumping.block_of[sites == site].tolist())
+            assert len(blocks) == 1
+
+    def test_rates_and_rewards_depend_on_site_only(self):
+        model = workloads.crowd_mrm(8, 5)
+        rewards = np.asarray(model.rewards).reshape(8, 5)
+        assert (rewards == rewards[:, :1]).all()
+        assert set(np.unique(rewards)) <= {0.0, 1.0, 2.0}
+
+    def test_connected(self):
+        from repro.ctmc import graph
+        model = workloads.crowd_mrm(4, 3)
+        assert graph.reachable(model, [0]) == set(range(12))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workloads.crowd_mrm(1, 5)
+        with pytest.raises(ValueError):
+            workloads.crowd_mrm(5, 0)
+
+
+class TestVirus:
+    def test_state_count_is_triangular(self):
+        model = workloads.virus_mrm(20)
+        assert model.num_states == 21 * 22 // 2
+
+    def test_scales_to_1e5_states(self):
+        model = workloads.virus_mrm(450)
+        assert model.num_states == 101_926
+
+    def test_labels_and_rewards(self):
+        model = workloads.virus_mrm(12, outbreak_fraction=0.5)
+        extinct = model.states_with("extinct")
+        outbreak = model.states_with("outbreak")
+        assert extinct and outbreak and not (extinct & outbreak)
+        # Reward = number of infected; extinct states earn nothing.
+        rewards = np.asarray(model.rewards)
+        assert all(rewards[s] == 0.0 for s in extinct)
+        assert all(rewards[s] >= 6.0 for s in outbreak)
+
+    def test_initial_single_infection(self):
+        model = workloads.virus_mrm(10)
+        support = np.flatnonzero(model.initial_distribution)
+        assert len(support) == 1
+        assert model.rewards[support[0]] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workloads.virus_mrm(1)
