@@ -456,6 +456,36 @@ class JointEngine(ABC):
                     model, t, r, indicator)
         return lower, upper
 
+    def spec(self) -> Dict:
+        """Transportable identity: the constructor arguments that
+        rebuild an equivalent engine in another process.
+
+        Returns ``{"engine": <registry name>, "options": {...}}`` such
+        that ``get_engine(spec["engine"], **spec["options"])`` yields
+        an engine with an *equal cache token* -- the process executor
+        (:mod:`repro.exec`) ships this instead of pickling engine
+        instances (backends may hold unpicklable jitted state), and
+        the equal token is what guarantees worker results are
+        bit-identical to in-process ones.  Engines must override this
+        alongside any accuracy knob they add; the base class refuses
+        rather than silently rebuilding with default accuracy.
+        """
+        raise NumericalError(
+            f"engine {self.name!r} does not declare a process-"
+            f"transport spec; it cannot run under the process "
+            f"executor")
+
+    def _kernel_option(self) -> Optional[str]:
+        """The ``kernel=`` constructor option for :meth:`spec`.
+
+        ``None`` preserves per-model auto-selection (deterministic in
+        the model's dimensions, so workers choose identically); a
+        statically resolved backend travels by name, which also pins
+        workers whose ``REPRO_KERNEL`` environment would differ.
+        """
+        kernel = getattr(self, "kernel", "auto")
+        return None if kernel == "auto" else kernel
+
     def refined(self) -> "Optional[JointEngine]":
         """A copy of this engine with a tightened accuracy knob.
 
@@ -474,14 +504,16 @@ class JointEngine(ABC):
             reward_bounds: Sequence[float],
             target: Iterable[int],
             deadline: Optional[float] = None,
-            max_workers: Optional[int] = None) -> PartialSweep:
+            max_workers: Optional[int] = None,
+            executor=None,
+            checkpoint=None) -> PartialSweep:
         """A ``(t, r)`` grid evaluation that survives a mid-grid
-        deadline.
+        deadline, a worker crash, or the death of this process.
 
         Unlike :meth:`joint_probability_sweep` -- whose engine-native
         shared-prefix runs are all-or-nothing -- this path evaluates
         the grid cell by cell through the cached scalar
-        :meth:`joint_probability_vector`, fanned out over threads and
+        :meth:`joint_probability_vector`, fanned out over workers and
         bounded by *deadline* (an absolute ``time.monotonic()``
         timestamp).  When the deadline passes, cells that have not
         started are cancelled, running cells drain, and the completed
@@ -490,10 +522,37 @@ class JointEngine(ABC):
         cell went through the shared result cache, so the cache stays
         consistent and a later retry of the unevaluated cells reuses
         all finished work.
+
+        *executor* selects the fan-out substrate: ``None``/"thread"``
+        is the in-process thread pool, ``"process"`` (or a
+        :class:`~repro.exec.ProcessShardExecutor`) shards cells over
+        crash-isolated worker processes with retry/backoff and hang
+        detection -- results are bit-identical either way.
+
+        *checkpoint* (a path or an open
+        :class:`~repro.exec.SweepCheckpoint`) makes progress durable:
+        each completed cell is flushed to the file as it finishes,
+        cells already present are served without computing, and an
+        interrupted run resumes from the file -- under any executor.
         """
         from repro.algorithms.parallel import deadline_map
         times = [float(t) for t in times]
         rewards = [float(r) for r in reward_bounds]
+        if executor is not None:
+            from repro.exec.executor import (ThreadShardExecutor,
+                                             resolve_executor)
+            resolved = resolve_executor(executor, max_workers)
+            if isinstance(resolved, ThreadShardExecutor):
+                max_workers = resolved.max_workers
+            else:
+                owned = resolved is not executor
+                try:
+                    return resolved.run(self, model, times, rewards,
+                                        target, deadline=deadline,
+                                        checkpoint=checkpoint)
+                finally:
+                    if owned:
+                        resolved.close()
         with self._observed("joint_sweep_partial", publish_stats=False,
                             points=len(times) * len(rewards)) as span:
             indicator = self._validate(model, 0.0, 0.0, target)
@@ -506,18 +565,46 @@ class JointEngine(ABC):
                     raise NumericalError(
                         f"reward bound must be >= 0, got {r}")
             target_list = [int(s) for s in np.flatnonzero(indicator)]
-            cells = [(i, j) for i in range(len(times))
-                     for j in range(len(rewards))]
+            all_cells = [(i, j) for i in range(len(times))
+                         for j in range(len(rewards))]
             grid = np.full((len(times), len(rewards),
                             model.num_states), np.nan)
             completed_mask = np.zeros((len(times), len(rewards)),
                                       dtype=bool)
-            self.stats.sweep_points += len(cells)
+            self.stats.sweep_points += len(all_cells)
             if OBS.enabled:
                 # The worker threads publish their own cell deltas;
                 # only this method's direct contribution goes here.
                 record_engine_stats(OBS.metrics, self.name,
-                                    {"sweep_points": len(cells)})
+                                    {"sweep_points": len(all_cells)})
+            cp = None
+            own_checkpoint = False
+            if checkpoint is not None:
+                from repro.exec.checkpoint import SweepCheckpoint
+                if isinstance(checkpoint, SweepCheckpoint):
+                    cp = checkpoint
+                else:
+                    cp = SweepCheckpoint.open(
+                        str(checkpoint), model.fingerprint,
+                        self._cache_token(), times, rewards, indicator)
+                    own_checkpoint = True
+                served = cp.load_into(grid, completed_mask)
+                span.set(resumed=len(served))
+                token = self._cache_token()
+                mask = indicator.tobytes()
+                from repro.algorithms.cache import joint_cache
+                for i, j in served:
+                    # Seed the shared cache so later scalar queries
+                    # (and the certified checker) hit resumed cells.
+                    key = (model.fingerprint, token, times[i],
+                           rewards[j], mask)
+                    if joint_cache.get(key) is None:
+                        frozen = grid[i, j].copy()
+                        frozen.flags.writeable = False
+                        self.stats.cache_evictions += joint_cache.put(
+                            key, frozen)
+            cells = [(i, j) for i, j in all_cells
+                     if not completed_mask[i, j]]
             clones = [self._worker_clone() for _ in cells]
             engine_name = self.name
 
@@ -525,8 +612,11 @@ class JointEngine(ABC):
                 clone, (i, j) = task
                 start = time.perf_counter()
                 try:
-                    return clone.joint_probability_vector(
+                    vector = clone.joint_probability_vector(
                         model, times[i], rewards[j], target_list)
+                    if cp is not None:
+                        cp.append((i, j), vector)
+                    return vector
                 finally:
                     if OBS.enabled:
                         OBS.metrics.histogram(
@@ -536,18 +626,21 @@ class JointEngine(ABC):
 
             labels = [f"cell (t={times[i]}, r={rewards[j]})"
                       for i, j in cells]
-            results, completed, failures = deadline_map(
-                run, list(zip(clones, cells)), deadline=deadline,
-                max_workers=max_workers, labels=labels)
-            for clone in clones:
-                self.stats.merge(clone.stats)
-            unevaluated = []
+            try:
+                results, completed, failures = deadline_map(
+                    run, list(zip(clones, cells)), deadline=deadline,
+                    max_workers=max_workers, labels=labels)
+            finally:
+                for clone in clones:
+                    self.stats.merge(clone.stats)
+                if own_checkpoint:
+                    cp.close()
             for position, (i, j) in enumerate(cells):
                 if completed[position]:
                     grid[i, j] = results[position]
                     completed_mask[i, j] = True
-                else:
-                    unevaluated.append((i, j))
+            unevaluated = [(i, j) for i, j in all_cells
+                           if not completed_mask[i, j]]
             span.set(unevaluated=len(unevaluated))
             return PartialSweep(grid=grid, completed=completed_mask,
                                 unevaluated=tuple(unevaluated),

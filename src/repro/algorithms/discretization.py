@@ -179,6 +179,13 @@ class DiscretizationEngine(JointEngine):
         return (self.name, self.step, self.underflow, self.include_zero,
                 self.kernel)
 
+    def spec(self):
+        return {"engine": self.name,
+                "options": {"step": self.step,
+                            "underflow": self.underflow,
+                            "include_zero": self.include_zero,
+                            "kernel": self._kernel_option()}}
+
     # ------------------------------------------------------------------
     # batched (all initial states) path
     # ------------------------------------------------------------------

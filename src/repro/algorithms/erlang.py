@@ -206,6 +206,12 @@ class ErlangEngine(JointEngine):
     def _cache_token(self) -> Tuple:
         return (self.name, self.phases, self.epsilon, self.kernel)
 
+    def spec(self):
+        return {"engine": self.name,
+                "options": {"phases": self.phases,
+                            "epsilon": self.epsilon,
+                            "kernel": self._kernel_option()}}
+
     def _compute_joint_vector(self,
                               model: MarkovRewardModel,
                               t: float,

@@ -35,6 +35,13 @@ EngineStats`; the clones share the accuracy parameters (hence the
 * **`max_workers` knob** -- ``None`` picks ``min(cpu_count, 8,
   len(tasks))``; ``1`` (or a single task) degrades to a plain
   sequential loop with zero threading overhead.
+
+For sweep workloads that need *crash* isolation rather than thread
+isolation -- worker segfaults, OOM kills, hangs -- the process-based
+executor in :mod:`repro.exec` builds on the same contracts
+(``resolve_workers``, deadline bookkeeping, ``WorkerError`` /
+``ParallelExecutionError``) and adds retries, circuit breaking and
+checkpointed resume; see ``docs/EXECUTION.md``.
 """
 
 from __future__ import annotations

@@ -137,6 +137,15 @@ class SericolaEngine(JointEngine):
         return (self.name, self.epsilon, self.uniformization_rate,
                 self.steady_state_detection, self.kernel)
 
+    def spec(self):
+        return {"engine": self.name,
+                "options": {
+                    "epsilon": self.epsilon,
+                    "uniformization_rate": self.uniformization_rate,
+                    "steady_state_detection":
+                        self.steady_state_detection,
+                    "kernel": self._kernel_option()}}
+
     # ------------------------------------------------------------------
 
     def _compute_joint_vector(self,

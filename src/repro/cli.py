@@ -27,17 +27,34 @@ import numpy as np
 from repro.algorithms import (DiscretizationEngine, ErlangEngine,
                               SericolaEngine, available_engines, get_engine)
 from repro.ctmc import io as model_io
+from repro.exec import EXECUTOR_NAMES
 from repro.mc.checker import ModelChecker
 
 
 def main(argv: Optional[list] = None) -> int:
-    """Entry point of the ``repro`` command."""
+    """Entry point of the ``repro`` command.
+
+    ``SIGINT`` (Ctrl-C) is not a crash: any sweep checkpoint has
+    already been flushed cell by cell (the checkpoint file is fsynced
+    per append and closed by the executor's teardown on the way out),
+    so the command prints where to resume from and exits with the
+    conventional ``130``.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        checkpoint = getattr(args, "checkpoint", None)
+        if checkpoint:
+            print(f"progress is checkpointed in {checkpoint}; re-run "
+                  f"the same command to resume from it",
+                  file=sys.stderr)
+        return 130
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,6 +111,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated engine fallback chain "
                             "for --certify (default: sericola,"
                             "erlang,discretization)")
+    check.add_argument("--sweep-times", default=None, metavar="T,T,...",
+                       help="comma-separated time bounds: sweep the "
+                            "formula's until over a (t, r) grid "
+                            "instead of one check (needs "
+                            "--sweep-rewards)")
+    check.add_argument("--sweep-rewards", default=None,
+                       metavar="R,R,...",
+                       help="comma-separated reward bounds for the "
+                            "sweep grid")
+    check.add_argument("--executor", default=None,
+                       choices=EXECUTOR_NAMES,
+                       help="sweep execution substrate: 'thread' "
+                            "(in-process, default) or 'process' "
+                            "(crash-isolated worker processes with "
+                            "retries and per-task timeouts)")
+    check.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="durable sweep checkpoint (JSONL): "
+                            "completed cells are appended as they "
+                            "finish and a re-run with the same file "
+                            "resumes instead of recomputing")
+    check.add_argument("--max-workers", type=int, default=None,
+                       help="worker cap for sweep runs (default: "
+                            "scale to the machine)")
     check.add_argument("--profile", action="store_true",
                        help="capture spans/metrics during the check "
                             "and print the profile report (span tree, "
@@ -251,6 +291,12 @@ def _cmd_check(args) -> int:
 
 def _run_check(checker: ModelChecker, model, formula: str, args) -> int:
     from repro.errors import PreflightError
+    if args.sweep_times is not None or args.sweep_rewards is not None:
+        return _sweep_check(checker, model, formula, args)
+    if args.executor is not None or args.checkpoint is not None:
+        print("--executor/--checkpoint apply to sweep runs; add "
+              "--sweep-times and --sweep-rewards", file=sys.stderr)
+        return 2
     if args.certify:
         return _certified_check(checker, model, formula, args)
     try:
@@ -292,6 +338,77 @@ def _report_verbose(checker: ModelChecker, file) -> None:
               file=file)
     else:
         print(f"lump: not applied ({info.reason})", file=file)
+
+
+def _parse_grid_axis(text: Optional[str], flag: str) -> list:
+    if not text:
+        print(f"sweep runs need both --sweep-times and "
+              f"--sweep-rewards ({flag} is missing)", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        return [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        print(f"{flag} must be comma-separated numbers, got {text!r}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _sweep_check(checker: ModelChecker, model, formula: str,
+                 args) -> int:
+    """``repro check --sweep-times ... --sweep-rewards ...``.
+
+    Evaluates the formula's until operator over the whole ``(t, r)``
+    bound grid -- the workload of the paper's tables -- cell by cell
+    through the fault-tolerant partial-sweep path, so ``--executor
+    process`` shards cells over crash-isolated workers and
+    ``--checkpoint`` makes progress durable.  Exit code 0 when every
+    cell completed, 1 when some cells are missing (their failures are
+    listed; a checkpointed re-run retries only those).
+    """
+    from repro.logic import ast
+    from repro.logic.parser import parse_formula
+
+    parsed = parse_formula(formula)
+    path = parsed.path if isinstance(parsed, ast.Prob) else parsed
+    if isinstance(path, ast.Eventually):
+        path = path.as_until()
+    if not isinstance(path, ast.Until):
+        print(f"sweep runs need an until formula, got {formula!r}",
+              file=sys.stderr)
+        return 2
+    times = _parse_grid_axis(args.sweep_times, "--sweep-times")
+    rewards = _parse_grid_axis(args.sweep_rewards, "--sweep-rewards")
+
+    partial = checker.until_probability_sweep_partial(
+        path.left, path.right, times, rewards,
+        max_workers=args.max_workers,
+        executor=args.executor, checkpoint=args.checkpoint)
+
+    initial = int(np.argmax(model.initial_distribution))
+    total = len(times) * len(rewards)
+    done = total - len(partial.unevaluated)
+    print(f"sweep: {len(times)} x {len(rewards)} grid of "
+          f"{path} bounds, initial state {model.name_of(initial)}")
+    print(f"completed {done}/{total} cells"
+          + (f" [executor={args.executor}]" if args.executor else ""))
+    header = "t \\ r".rjust(10) + "".join(
+        f"{r:>12g}" for r in rewards)
+    print(header)
+    for i, t in enumerate(times):
+        cells = []
+        for j in range(len(rewards)):
+            value = partial.grid[i, j, initial]
+            cells.append("         ---" if np.isnan(value)
+                         else f"{value:12.8f}")
+        print(f"{t:>10g}" + "".join(cells))
+    if partial.failures:
+        print("failures:", file=sys.stderr)
+        for failure in partial.failures:
+            print(f"  - {failure}", file=sys.stderr)
+    if not partial.complete and args.checkpoint:
+        print(f"re-run with --checkpoint {args.checkpoint} to retry "
+              f"only the missing cells", file=sys.stderr)
+    return 0 if partial.complete else 1
 
 
 def _certified_check(checker: ModelChecker, model, formula: str,

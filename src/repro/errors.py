@@ -89,6 +89,14 @@ class WorkerError(NumericalError):
         self.label = label
         self.cause = cause
 
+    def __reduce__(self):
+        # The default Exception reduction replays ``args`` -- a single
+        # message string -- into ``__init__(index, cause, label)`` and
+        # explodes.  Reconstructing from the real fields keeps the
+        # error picklable, which process transport (:mod:`repro.exec`)
+        # and anyone using ``multiprocessing`` relies on.
+        return (WorkerError, (self.index, self.cause, self.label))
+
 
 class ParallelExecutionError(NumericalError):
     """One or more tasks of a threaded fan-out failed.
@@ -106,6 +114,72 @@ class ParallelExecutionError(NumericalError):
             f"{details}")
         self.failures = list(failures)
         self.total = int(total)
+
+    def __reduce__(self):
+        return (ParallelExecutionError, (self.failures, self.total))
+
+
+class WorkerCrashError(NumericalError):
+    """A worker *process* died before returning its task's result.
+
+    Raised (or recorded inside a :class:`WorkerError`) by the process
+    executor (:mod:`repro.exec`) when a worker crashes, is killed, or
+    stops heartbeating; distinguishes infrastructure failures from
+    numerical ones so retry policies can treat them differently.
+
+    Attributes
+    ----------
+    reason:
+        Why the worker was given up on: ``"crash"`` (process exited),
+        ``"killed"`` (terminated by signal, e.g. an OOM kill),
+        ``"hang"`` (heartbeat went stale), ``"timeout"`` (per-task
+        wall-clock limit exceeded) or ``"corrupt"`` (result failed its
+        checksum).
+    worker_id:
+        Identifier of the worker process, or ``None``.
+    exitcode:
+        The process exit code (negative = killed by that signal), or
+        ``None`` when the process was still alive (hang/timeout).
+    """
+
+    def __init__(self, reason: str, worker_id: "int | None" = None,
+                 exitcode: "int | None" = None):
+        where = (f"worker {worker_id}" if worker_id is not None
+                 else "worker")
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"{where} failed: {reason}{detail}")
+        self.reason = reason
+        self.worker_id = worker_id
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (WorkerCrashError,
+                (self.reason, self.worker_id, self.exitcode))
+
+
+class RemoteTaskError(NumericalError):
+    """An exception raised inside a worker process, carried home.
+
+    The original exception object may not survive pickling, so the
+    process transport ships its type name, message and formatted
+    traceback instead; the traceback text is attached for diagnosis.
+    """
+
+    def __init__(self, exc_type: str, message: str,
+                 traceback_text: str = ""):
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+        self.message = message
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        return (RemoteTaskError,
+                (self.exc_type, self.message, self.traceback_text))
+
+
+class CheckpointError(NumericalError):
+    """A sweep checkpoint file cannot be used for the requested sweep
+    (wrong fingerprint, engine parameters or grid axes)."""
 
 
 class BudgetExhaustedError(NumericalError):

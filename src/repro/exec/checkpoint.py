@@ -1,0 +1,236 @@
+"""Durable JSONL checkpoints for ``(t, r)`` sweep grids.
+
+A checkpoint file makes a long sweep restartable across process death:
+every completed cell is appended (and flushed) the moment it finishes,
+so a crash -- including ``kill -9`` of the driving process -- loses at
+most the cells in flight.  Re-running the same sweep with the same
+checkpoint path resumes exactly where the previous run stopped: loaded
+cells are served from the file, only the remainder is dispatched.
+
+File format: one JSON object per line.
+
+* Line 1 is the **header** identifying the sweep the file belongs to::
+
+      {"schema": 1, "kind": "repro-sweep-checkpoint",
+       "fingerprint": "<model BLAKE2b>", "engine": "<cache token>",
+       "times": [...], "rewards": [...], "target": "<indicator hash>",
+       "num_states": n}
+
+  A checkpoint is only ever merged into the *identical* sweep: model
+  content fingerprint, engine accuracy parameters (the cache token),
+  grid axes and target set must all match, otherwise
+  :class:`~repro.errors.CheckpointError` is raised.  This is the same
+  content-identity contract the joint-vector cache uses.
+
+* Every further line is one completed **cell**::
+
+      {"cell": [i, j], "data": "<base64 float64 LE bytes>",
+       "checksum": "<BLAKE2b of the raw bytes>"}
+
+  Values are stored as raw little-endian float64 bytes (base64), so a
+  resumed grid is **bit-identical** to an uninterrupted run -- no
+  decimal round-trip.  Rows failing their checksum, truncated by a
+  crash mid-write, or duplicated are skipped/deduplicated on load; the
+  affected cells are simply recomputed.
+
+Appends are lock-protected and flushed per row (``flush`` +
+``os.fsync``), so concurrent worker threads may append and the rows
+are durable when :meth:`SweepCheckpoint.append` returns.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+SCHEMA = 1
+KIND = "repro-sweep-checkpoint"
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _indicator_hash(indicator: np.ndarray) -> str:
+    return _checksum(np.ascontiguousarray(indicator, dtype=float)
+                     .tobytes())
+
+
+def sweep_header(fingerprint: str, engine_token: Tuple,
+                 times: Sequence[float], rewards: Sequence[float],
+                 indicator: np.ndarray) -> Dict:
+    """The header object identifying one sweep's checkpoint."""
+    return {
+        "schema": SCHEMA,
+        "kind": KIND,
+        "fingerprint": fingerprint,
+        "engine": repr(engine_token),
+        "times": [float(t) for t in times],
+        "rewards": [float(r) for r in rewards],
+        "target": _indicator_hash(indicator),
+        "num_states": int(indicator.shape[0]),
+    }
+
+
+class SweepCheckpoint:
+    """One sweep's append-only JSONL checkpoint file.
+
+    Use :meth:`open` with the sweep's identity; it validates an
+    existing file's header (raising
+    :class:`~repro.errors.CheckpointError` on mismatch) or writes a
+    fresh header, and pre-loads every valid completed cell.
+    """
+
+    def __init__(self, path: str, header: Dict,
+                 cells: Dict[Tuple[int, int], np.ndarray]):
+        self.path = path
+        self.header = header
+        self._cells = cells
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, fingerprint: str, engine_token: Tuple,
+             times: Sequence[float], rewards: Sequence[float],
+             indicator: np.ndarray) -> "SweepCheckpoint":
+        """Open (resuming) or create the checkpoint for this sweep."""
+        header = sweep_header(fingerprint, engine_token, times,
+                              rewards, indicator)
+        cells: Dict[Tuple[int, int], np.ndarray] = {}
+        n = int(indicator.shape[0])
+        shape = (len(times), len(rewards))
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            cells = cls._load(path, header, shape, n)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return cls(path, header, cells)
+
+    @staticmethod
+    def _load(path: str, header: Dict, shape: Tuple[int, int],
+              num_states: int) -> Dict[Tuple[int, int], np.ndarray]:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+            try:
+                existing = json.loads(first)
+            except json.JSONDecodeError:
+                raise CheckpointError(
+                    f"{path} is not a sweep checkpoint (unreadable "
+                    f"header line)") from None
+            if not (isinstance(existing, dict)
+                    and existing.get("kind") == KIND):
+                raise CheckpointError(
+                    f"{path} is not a sweep checkpoint")
+            for field in ("schema", "fingerprint", "engine", "times",
+                          "rewards", "target", "num_states"):
+                if existing.get(field) != header[field]:
+                    raise CheckpointError(
+                        f"checkpoint {path} was written for a "
+                        f"different sweep: field {field!r} is "
+                        f"{existing.get(field)!r}, this sweep needs "
+                        f"{header[field]!r}")
+            cells: Dict[Tuple[int, int], np.ndarray] = {}
+            for line in handle:
+                row = SweepCheckpoint._parse_row(line, shape,
+                                                 num_states)
+                if row is not None:
+                    cells[row[0]] = row[1]
+            return cells
+
+    @staticmethod
+    def _parse_row(line: str, shape: Tuple[int, int], num_states: int
+                   ) -> Optional[Tuple[Tuple[int, int], np.ndarray]]:
+        """One cell from a data row, or ``None`` when the row is
+        truncated, corrupt or out of range (the cell recomputes)."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            row = json.loads(line)
+            i, j = (int(row["cell"][0]), int(row["cell"][1]))
+            data = base64.b64decode(row["data"], validate=True)
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError,
+                IndexError):
+            return None
+        if not (0 <= i < shape[0] and 0 <= j < shape[1]):
+            return None
+        if row.get("checksum") != _checksum(data):
+            return None
+        vector = np.frombuffer(data, dtype="<f8")
+        if vector.shape != (num_states,):
+            return None
+        return (i, j), vector.astype(float, copy=True)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cells(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """Completed cells loaded from disk plus those appended since
+        (do not mutate)."""
+        with self._lock:
+            return dict(self._cells)
+
+    def __contains__(self, cell: Tuple[int, int]) -> bool:
+        with self._lock:
+            return tuple(cell) in self._cells
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)
+
+    def append(self, cell: Tuple[int, int], vector: np.ndarray) -> None:
+        """Record one completed cell, durably (flush + fsync)."""
+        i, j = int(cell[0]), int(cell[1])
+        data = np.ascontiguousarray(vector, dtype="<f8").tobytes()
+        row = json.dumps({"cell": [i, j],
+                          "data": base64.b64encode(data).decode("ascii"),
+                          "checksum": _checksum(data)})
+        with self._lock:
+            if (i, j) in self._cells:
+                return
+            self._cells[(i, j)] = np.asarray(vector, dtype=float).copy()
+            self._handle.write(row + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def load_into(self, grid: np.ndarray,
+                  completed: np.ndarray) -> List[Tuple[int, int]]:
+        """Fill *grid*/*completed* from the stored cells.
+
+        Returns the list of cells that were served from the file, in
+        grid order -- the resume merge point of the partial-sweep path.
+        """
+        served = []
+        with self._lock:
+            for (i, j), vector in sorted(self._cells.items()):
+                grid[i, j] = vector
+                completed[i, j] = True
+                served.append((i, j))
+        return served
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SweepCheckpoint({self.path!r}, "
+                f"cells={len(self)})")

@@ -1,0 +1,704 @@
+"""Crash-isolated multi-process sweep execution.
+
+:class:`ProcessShardExecutor` shards the cells of a ``(t, r)`` sweep
+grid across worker *processes* (see :mod:`repro.exec.worker` for the
+worker side and the wire protocol), so a crashing, hanging or
+OOM-killed computation takes down one task attempt, never the sweep:
+
+* **Crash isolation** -- a dead worker is detected (pipe EOF / process
+  sentinel), its in-flight cell is retried on a respawned worker, and
+  the restart is counted (``repro_worker_restart_total{reason=...}``).
+* **Hang detection** -- workers heartbeat on a background thread; a
+  busy worker whose heartbeat goes stale (or whose per-task wall-clock
+  timeout passes) is killed and replaced.
+* **Bounded retries** -- infrastructure failures (crash, kill, hang,
+  timeout, checksum-corrupt result) are retried with the
+  :class:`~repro.exec.retry.RetryPolicy`'s exponential backoff and
+  deterministic jitter; exceptions raised *by the engine* are
+  deterministic and therefore not retried -- they surface as
+  :class:`~repro.errors.WorkerError` failures exactly like the
+  threaded path's.
+* **Circuit breaker** -- every failure/success is recorded against the
+  engine/backend's breaker in the shared
+  :data:`~repro.exec.retry.BREAKERS` registry; when it opens, the
+  sweep stops dispatching (remaining cells come back unevaluated) and
+  the :class:`~repro.mc.certified.CertifiedChecker` fallback chain
+  skips the engine until the cooldown expires.
+* **Checkpointed resume** -- with a checkpoint
+  (:class:`~repro.exec.checkpoint.SweepCheckpoint` or a path), every
+  completed cell is durably appended the moment it arrives, cells
+  already in the file are served without computing, and both are
+  seeded into the shared joint-vector cache -- so an interrupted run
+  (``SIGINT``, crash, ``kill -9``) resumes exactly where it stopped.
+
+Determinism: the engines are deterministic functions of (model
+content, engine parameters), results travel as raw float64 bytes with
+BLAKE2b checksums, and retry jitter only schedules *when* work runs --
+so a sweep's grid is **bit-identical** whatever the executor, worker
+count, fault history or resume pattern.  The chaos suite
+(``tests/test_exec_chaos.py``) asserts exactly that.
+
+The executor returns the same :class:`~repro.algorithms.base.\
+PartialSweep` the threaded path does, and populates the same caches,
+so callers switch with one ``executor="process"`` argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import os
+import pickle
+import time
+from typing import (Any, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
+
+import numpy as np
+
+from repro.algorithms.cache import EngineStats, joint_cache
+from repro.algorithms.parallel import (_record_deadline_missed,
+                                       remaining, resolve_workers)
+from repro.errors import (NumericalError, RemoteTaskError,
+                          WorkerCrashError, WorkerError)
+from repro.exec.checkpoint import SweepCheckpoint
+from repro.exec.retry import BREAKERS, BreakerRegistry, RetryPolicy
+from repro.exec.worker import _checksum, worker_main
+from repro.obs import OBS, REGISTRY
+from repro.obs import span as obs_span
+
+#: Environment override for the multiprocessing start method
+#: (``fork`` where available, else ``spawn``).
+START_METHOD_ENV = "REPRO_EXEC_START"
+
+#: How long a worker gets to exit after a ``("stop",)`` before it is
+#: terminated (and then killed) during shutdown.
+_SHUTDOWN_GRACE = 2.0
+
+
+def breaker_key(engine) -> str:
+    """The circuit-breaker key of *engine*: ``"<engine>/<backend>"``.
+
+    One breaker per engine/backend combination, shared between the
+    process executor (writer) and the certified checker's fallback
+    chain (reader).
+    """
+    kernel = getattr(engine, "_kernel_request", None)
+    if kernel is None:
+        kernel = "auto"
+    elif not isinstance(kernel, str):
+        kernel = getattr(kernel, "name", str(kernel))
+    return f"{engine.name}/{kernel}"
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("process", "conn", "id", "ready", "acked",
+                 "last_heartbeat", "task", "dead")
+
+    def __init__(self, process, conn, worker_id: int):
+        self.process = process
+        self.conn = conn
+        self.id = worker_id
+        self.ready = False
+        self.acked = False
+        self.last_heartbeat = time.monotonic()
+        self.task: Optional[_Assignment] = None
+        self.dead = False
+
+    @property
+    def idle(self) -> bool:
+        return self.acked and self.task is None and not self.dead
+
+
+class _Assignment:
+    """One in-flight task: which cell, which attempt, since when."""
+
+    __slots__ = ("seq", "pos", "attempt", "started", "deadline")
+
+    def __init__(self, seq: int, pos: int, attempt: int,
+                 started: float, deadline: Optional[float]):
+        self.seq = seq
+        self.pos = pos
+        self.attempt = attempt
+        self.started = started
+        self.deadline = deadline
+
+
+class ProcessShardExecutor:
+    """Shards sweep cells over crash-isolated worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; ``None`` resolves like the threaded
+        fan-out (``min(cpu_count, 8, cells)``).
+    task_timeout:
+        Per-task wall-clock limit in seconds; an attempt exceeding it
+        has its worker killed and is retried.  ``None`` = no limit
+        (hangs are still caught by heartbeat staleness).
+    heartbeat_interval / heartbeat_timeout:
+        Workers beat every *interval* seconds; a busy worker silent
+        for *timeout* seconds (default ``max(10 * interval, 2.0)``) is
+        declared hung, killed and replaced.
+    retry:
+        The :class:`~repro.exec.retry.RetryPolicy` for infrastructure
+        failures (default policy: 3 retries, exponential backoff with
+        deterministic jitter).
+    breakers:
+        The :class:`~repro.exec.retry.BreakerRegistry` failures are
+        recorded in (default: the shared :data:`~repro.exec.retry.\
+BREAKERS` the certified checker reads).
+    start_method:
+        ``multiprocessing`` start method (default: ``REPRO_EXEC_START``
+        env var, else ``fork`` where available, else ``spawn``).
+    faults:
+        Fault-injection spec string shipped to every worker
+        (:mod:`repro.exec.faultinject`); ``None`` lets workers read
+        ``REPRO_FAULTS`` from their environment.
+
+    Workers are spawned per :meth:`run` call and always torn down
+    before it returns -- no worker outlives its sweep, and a worker
+    whose parent dies uncleanly (``kill -9``) notices the reparenting
+    through its heartbeat thread and exits on its own.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 task_timeout: Optional[float] = None,
+                 heartbeat_interval: float = 0.2,
+                 heartbeat_timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breakers: Optional[BreakerRegistry] = None,
+                 start_method: Optional[str] = None,
+                 faults: Optional[str] = None):
+        self.max_workers = max_workers
+        self.task_timeout = (None if task_timeout is None
+                             else float(task_timeout))
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout) if heartbeat_timeout is not None
+            else max(10.0 * self.heartbeat_interval, 2.0))
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breakers = breakers if breakers is not None else BREAKERS
+        self.faults = faults
+        method = start_method or os.environ.get(START_METHOD_ENV)
+        if method is None:
+            method = ("fork" if "fork" in mp.get_all_start_methods()
+                      else "spawn")
+        self.start_method = method
+        self._context = mp.get_context(method)
+        self._closed = False
+        self._next_sweep_id = 0
+        #: Lifetime counters (across runs) for tests and diagnostics.
+        self.restarts = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, engine, model, times: Sequence[float],
+            reward_bounds: Sequence[float], target: Iterable[int],
+            deadline: Optional[float] = None,
+            checkpoint: Union[None, str, SweepCheckpoint] = None):
+        """Evaluate the sweep grid; returns a
+        :class:`~repro.algorithms.base.PartialSweep`.
+
+        The semantics mirror ``engine.joint_probability_sweep_partial``:
+        *deadline* is an absolute ``time.monotonic()`` timestamp after
+        which undone cells come back unevaluated; permanently failed
+        cells appear in both ``unevaluated`` and ``failures``.
+        """
+        if self._closed:
+            raise NumericalError("executor is closed")
+        self._next_sweep_id += 1
+        run = _Run(self, engine, model, times, reward_bounds, target,
+                   deadline, checkpoint, self._next_sweep_id)
+        return run.drive()
+
+    def close(self) -> None:
+        """Mark the executor closed (workers are per-run; none linger)."""
+        self._closed = True
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ProcessShardExecutor(max_workers={self.max_workers}, "
+                f"start_method={self.start_method!r})")
+
+
+class _Run:
+    """State and scheduler loop of one :meth:`ProcessShardExecutor.run`."""
+
+    def __init__(self, executor: ProcessShardExecutor, engine, model,
+                 times, reward_bounds, target, deadline, checkpoint,
+                 sweep_id: int):
+        self.executor = executor
+        self.engine = engine
+        self.model = model
+        self.deadline = deadline
+        self.sweep_id = sweep_id
+        self.times = [float(t) for t in times]
+        self.rewards = [float(r) for r in reward_bounds]
+        self.indicator = engine._validate(model, 0.0, 0.0, target)
+        for t in self.times:
+            if t < 0.0:
+                raise NumericalError(
+                    f"time bound must be >= 0, got {t}")
+        for r in self.rewards:
+            if r < 0.0:
+                raise NumericalError(
+                    f"reward bound must be >= 0, got {r}")
+        self.target_list = [int(s)
+                            for s in np.flatnonzero(self.indicator)]
+        self.token = engine._cache_token()
+        self.mask = self.indicator.tobytes()
+        self.spec = engine.spec()
+        self.cells = [(i, j) for i in range(len(self.times))
+                      for j in range(len(self.rewards))]
+        shape = (len(self.times), len(self.rewards), model.num_states)
+        self.grid = np.full(shape, np.nan)
+        self.completed = np.zeros(shape[:2], dtype=bool)
+        self.breaker = executor.breakers.breaker(breaker_key(engine))
+        self.checkpoint: Optional[SweepCheckpoint] = None
+        self._own_checkpoint = False
+        if checkpoint is not None:
+            if isinstance(checkpoint, SweepCheckpoint):
+                self.checkpoint = checkpoint
+            else:
+                self.checkpoint = SweepCheckpoint.open(
+                    str(checkpoint), model.fingerprint, self.token,
+                    self.times, self.rewards, self.indicator)
+                self._own_checkpoint = True
+        self.resumed = 0
+        # Scheduling state.
+        self.workers: Dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._next_seq = 0
+        self.pending: List[Tuple[float, int, int]] = []  # heap
+        self.attempts_failed: Dict[int, int] = {}
+        self.failures: Dict[int, WorkerError] = {}
+        self.aborted: Optional[str] = None
+        self._model_blob: Optional[bytes] = None
+
+    # -- identity helpers ----------------------------------------------
+
+    def _cache_key(self, pos: int):
+        i, j = self.cells[pos]
+        return (self.model.fingerprint, self.token, self.times[i],
+                self.rewards[j], self.mask)
+
+    def _label(self, pos: int) -> str:
+        i, j = self.cells[pos]
+        return f"cell (t={self.times[i]}, r={self.rewards[j]})"
+
+    def model_blob(self) -> bytes:
+        if self._model_blob is None:
+            self._model_blob = pickle.dumps(
+                self.model, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._model_blob
+
+    # -- the drive loop ------------------------------------------------
+
+    def drive(self):
+        from repro.algorithms.base import PartialSweep
+        engine = self.engine
+        engine.stats.sweep_points += len(self.cells)
+        self._prefill()
+        with obs_span("process_sweep", engine=engine.name,
+                      points=len(self.cells),
+                      workers=resolve_workers(
+                          self.executor.max_workers,
+                          len(self.pending))) as span:
+            # The breaker gates whole runs, not individual cells: an
+            # open breaker (repeated failures in earlier runs) vetoes
+            # up front, while failures *within* this run are bounded
+            # by the retry policy -- aborting mid-sweep would make
+            # completion depend on failure arrival order.  In the
+            # half-open state this run is the probe.
+            if self.pending and not self.breaker.allow():
+                self.aborted = (f"circuit breaker "
+                                f"{self.breaker.key!r} is open")
+                self.pending.clear()
+            try:
+                self._loop()
+            finally:
+                self._shutdown()
+                if self._own_checkpoint and self.checkpoint is not None:
+                    self.checkpoint.close()
+            unevaluated = [
+                (i, j) for pos, (i, j) in enumerate(self.cells)
+                if not self.completed[i, j]]
+            failures = [self.failures[pos]
+                        for pos in sorted(self.failures)]
+            span.set(unevaluated=len(unevaluated),
+                     resumed=self.resumed,
+                     restarts=self.executor.restarts,
+                     retries=self.executor.retries)
+            if self.aborted:
+                span.set(aborted=self.aborted)
+            return PartialSweep(grid=self.grid,
+                                completed=self.completed,
+                                unevaluated=tuple(unevaluated),
+                                failures=tuple(failures))
+
+    def _prefill(self) -> None:
+        """Serve cells from the checkpoint and the shared cache; queue
+        the rest."""
+        if self.checkpoint is not None:
+            served = self.checkpoint.load_into(self.grid,
+                                               self.completed)
+            self.resumed = len(served)
+        for pos, (i, j) in enumerate(self.cells):
+            key = self._cache_key(pos)
+            if self.completed[i, j]:
+                # Resumed from the checkpoint: seed the cache so later
+                # scalar queries (and the certified checker) hit.
+                if joint_cache.get(key) is None:
+                    frozen = self.grid[i, j].copy()
+                    frozen.flags.writeable = False
+                    self.engine.stats.cache_evictions += (
+                        joint_cache.put(key, frozen))
+                continue
+            cached = joint_cache.get(key)
+            if cached is not None:
+                self.engine.stats.cache_hits += 1
+                self._complete(pos, np.asarray(cached, dtype=float),
+                               from_cache=True)
+                continue
+            heapq.heappush(self.pending, (0.0, pos, 0))
+
+    def _in_flight(self) -> List[_Worker]:
+        return [w for w in self.workers.values() if w.task is not None]
+
+    def _loop(self) -> None:
+        executor = self.executor
+        while (self.pending or self._in_flight()) and not self.aborted:
+            now = time.monotonic()
+            if remaining(self.deadline) <= 0.0:
+                undone = len(self.pending) + len(self._in_flight())
+                _record_deadline_missed(undone)
+                break
+            want = resolve_workers(
+                executor.max_workers,
+                len(self.pending) + len(self._in_flight()))
+            while len(self.workers) < want:
+                self._spawn()
+            self._dispatch(now)
+            self._wait(now)
+            self._reap()
+            self._check_liveness(time.monotonic())
+
+    def _dispatch(self, now: float) -> None:
+        idle = [w for w in self.workers.values() if w.idle]
+        while idle and self.pending and self.pending[0][0] <= now:
+            _, pos, attempt = heapq.heappop(self.pending)
+            worker = idle.pop()
+            seq = self._next_seq
+            self._next_seq += 1
+            i, j = self.cells[pos]
+            try:
+                worker.conn.send(("task", seq, pos, i, j, attempt))
+            except (BrokenPipeError, OSError):
+                worker.dead = True
+                heapq.heappush(self.pending, (now, pos, attempt))
+                continue
+            task_deadline = (None if self.executor.task_timeout is None
+                             else now + self.executor.task_timeout)
+            worker.task = _Assignment(seq, pos, attempt, now,
+                                      task_deadline)
+            worker.last_heartbeat = now
+
+    def _wait_timeout(self, now: float) -> float:
+        wake = [0.5]
+        if self.pending:
+            wake.append(self.pending[0][0] - now)
+        for worker in self.workers.values():
+            if worker.task is not None:
+                wake.append(worker.last_heartbeat
+                            + self.executor.heartbeat_timeout - now)
+                if worker.task.deadline is not None:
+                    wake.append(worker.task.deadline - now)
+        left = remaining(self.deadline)
+        if left != float("inf"):
+            wake.append(left)
+        return max(0.01, min(wake))
+
+    def _wait(self, now: float) -> None:
+        handles = []
+        for worker in self.workers.values():
+            if not worker.dead:
+                handles.append(worker.conn)
+                handles.append(worker.process.sentinel)
+        if not handles:
+            return
+        try:
+            ready = mp.connection.wait(handles,
+                                       self._wait_timeout(now))
+        except OSError:  # pragma: no cover - raced with a dying worker
+            ready = []
+        by_conn = {w.conn: w for w in self.workers.values()}
+        for handle in ready:
+            worker = by_conn.get(handle)
+            if worker is not None:
+                self._drain(worker)
+        # Sentinel readiness (process exit) is handled by _reap().
+
+    def _drain(self, worker: _Worker) -> None:
+        while not worker.dead:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                worker.dead = True
+                return
+            self._handle(worker, message)
+
+    def _handle(self, worker: _Worker, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "ready":
+            worker.ready = True
+            worker.last_heartbeat = time.monotonic()
+            worker.conn.send(
+                ("sweep", self.sweep_id, self.model.fingerprint,
+                 self.spec, self.times, self.rewards,
+                 self.target_list))
+        elif kind == "need_model":
+            worker.conn.send(("model", self.model.fingerprint,
+                              self.model_blob()))
+        elif kind == "sweep_ok":
+            worker.acked = True
+            worker.last_heartbeat = time.monotonic()
+        elif kind == "heartbeat":
+            worker.last_heartbeat = time.monotonic()
+        elif kind == "result":
+            self._handle_result(worker, message)
+        elif kind == "error":
+            _, seq, exc_type, text, tb = message
+            task = worker.task
+            if task is None or task.seq != seq:
+                return
+            worker.task = None
+            cause = RemoteTaskError(exc_type, text, tb)
+            # Engine exceptions are deterministic: retrying replays
+            # the same failure, so give up immediately (the threaded
+            # path's semantics).
+            self._give_up(task.pos, cause)
+            self.breaker.record_failure()
+
+    def _handle_result(self, worker: _Worker, message: Tuple) -> None:
+        _, seq, data, checksum, delta = message
+        task = worker.task
+        if task is None or task.seq != seq:
+            return  # stale result of a task already retried elsewhere
+        worker.task = None
+        elapsed = time.monotonic() - task.started
+        if _checksum(data) != checksum:
+            self._task_failed(
+                task.pos, task.attempt, "corrupt",
+                WorkerCrashError("corrupt", worker.id))
+            return
+        vector = np.frombuffer(data, dtype="<f8").astype(float,
+                                                         copy=True)
+        self.engine.stats.merge(EngineStats(**delta))
+        self._complete(task.pos, vector)
+        self.breaker.record_success()
+        if OBS.enabled:
+            OBS.metrics.histogram(
+                "repro_sweep_cell_seconds",
+                engine=self.engine.name).observe(elapsed)
+            with OBS.tracer.span("worker",
+                                 worker=f"process-{worker.id}",
+                                 cell=self._label(task.pos),
+                                 seconds=round(elapsed, 6)):
+                pass
+
+    def _complete(self, pos: int, vector: np.ndarray,
+                  from_cache: bool = False) -> None:
+        i, j = self.cells[pos]
+        self.grid[i, j] = vector
+        self.completed[i, j] = True
+        if not from_cache:
+            frozen = vector.copy()
+            frozen.flags.writeable = False
+            self.engine.stats.cache_evictions += joint_cache.put(
+                self._cache_key(pos), frozen)
+        if self.checkpoint is not None:
+            self.checkpoint.append((i, j), vector)
+
+    # -- failure machinery ---------------------------------------------
+
+    def _give_up(self, pos: int, cause: BaseException) -> None:
+        self.failures[pos] = WorkerError(pos, cause, self._label(pos))
+
+    def _task_failed(self, pos: int, attempt: int, reason: str,
+                     cause: BaseException) -> None:
+        self.breaker.record_failure()
+        count = self.attempts_failed.get(pos, 0) + 1
+        self.attempts_failed[pos] = count
+        if self.executor.retry.gives_up(count):
+            self._give_up(pos, cause)
+            return
+        REGISTRY.counter("repro_retry_total", reason=reason).inc()
+        self.executor.retries += 1
+        delay = self.executor.retry.delay(pos, count)
+        heapq.heappush(self.pending,
+                       (time.monotonic() + delay, pos, count))
+
+    def _worker_failed(self, worker: _Worker, reason: str,
+                       exitcode: Optional[int]) -> None:
+        """Count the restart and retry the worker's in-flight task."""
+        REGISTRY.counter("repro_worker_restart_total",
+                         reason=reason).inc()
+        self.executor.restarts += 1
+        task = worker.task
+        worker.task = None
+        if task is not None:
+            self._task_failed(
+                task.pos, task.attempt, reason,
+                WorkerCrashError(reason, worker.id, exitcode))
+
+    def _reap(self) -> None:
+        """Remove workers that died on their own (crash, OOM kill)."""
+        for worker in list(self.workers.values()):
+            if not worker.dead and worker.process.is_alive():
+                continue
+            self._drain(worker)  # keep results sent before death
+            worker.process.join(timeout=0.5)
+            exitcode = worker.process.exitcode
+            reason = ("killed" if exitcode is not None and exitcode < 0
+                      else "crash")
+            self._discard(worker)
+            self._worker_failed(worker, reason, exitcode)
+
+    def _check_liveness(self, now: float) -> None:
+        """Kill busy workers that timed out or stopped heartbeating."""
+        for worker in list(self.workers.values()):
+            task = worker.task
+            if task is None:
+                continue
+            if (task.deadline is not None and now > task.deadline):
+                self._kill(worker, "timeout")
+            elif (now - worker.last_heartbeat
+                    > self.executor.heartbeat_timeout):
+                self._kill(worker, "hang")
+
+    def _kill(self, worker: _Worker, reason: str) -> None:
+        self._terminate(worker)
+        self._discard(worker)
+        self._worker_failed(worker, reason, None)
+
+    @staticmethod
+    def _terminate(worker: _Worker) -> None:
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=0.5)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=1.0)
+
+    def _discard(self, worker: _Worker) -> None:
+        self.workers.pop(worker.id, None)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self) -> None:
+        context = self.executor._context
+        parent_conn, child_conn = context.Pipe()
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = context.Process(
+            target=worker_main,
+            args=(child_conn, worker_id,
+                  self.executor.heartbeat_interval,
+                  self.executor.faults),
+            name=f"repro-exec-{self.sweep_id}-{worker_id}",
+            daemon=True)
+        process.start()
+        child_conn.close()
+        self.workers[worker_id] = _Worker(process, parent_conn,
+                                          worker_id)
+
+    def _shutdown(self) -> None:
+        """Stop every worker; none may outlive the run."""
+        for worker in self.workers.values():
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        grace = time.monotonic() + _SHUTDOWN_GRACE
+        for worker in self.workers.values():
+            worker.process.join(
+                timeout=max(0.0, grace - time.monotonic()))
+        for worker in list(self.workers.values()):
+            self._terminate(worker)
+            self._discard(worker)
+        self.workers.clear()
+
+
+class ThreadShardExecutor:
+    """The threaded executor behind the same ``run`` interface.
+
+    Delegates to the engine's in-process partial-sweep path
+    (GIL-releasing thread fan-out), so ``executor="thread"`` and the
+    historical ``executor=None`` behave identically -- including
+    checkpoint support, which the engine path shares.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def run(self, engine, model, times, reward_bounds, target,
+            deadline: Optional[float] = None,
+            checkpoint: Union[None, str, SweepCheckpoint] = None):
+        return engine.joint_probability_sweep_partial(
+            model, times, reward_bounds, target, deadline=deadline,
+            max_workers=self.max_workers, checkpoint=checkpoint)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ThreadShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"ThreadShardExecutor(max_workers={self.max_workers})"
+
+
+#: The executor names ``resolve_executor`` accepts.
+EXECUTOR_NAMES: Tuple[str, ...] = ("thread", "process")
+
+
+def resolve_executor(executor: Union[None, str, Any],
+                     max_workers: Optional[int] = None):
+    """An executor object from a name, an instance, or ``None``.
+
+    ``None`` and ``"thread"`` give the in-process
+    :class:`ThreadShardExecutor`; ``"process"`` a fresh
+    :class:`ProcessShardExecutor`; an object with a ``run`` method
+    passes through unchanged (its own worker settings win).
+    """
+    if executor is None or executor == "thread":
+        return ThreadShardExecutor(max_workers=max_workers)
+    if executor == "process":
+        return ProcessShardExecutor(max_workers=max_workers)
+    if hasattr(executor, "run"):
+        return executor
+    raise NumericalError(
+        f"unknown executor {executor!r}; expected "
+        f"{', '.join(EXECUTOR_NAMES)}, or an executor object")

@@ -1,0 +1,237 @@
+"""The worker-process side of the process shard executor.
+
+One worker is one OS process running :func:`worker_main` over a duplex
+pipe to the parent.  The protocol is deliberately tiny -- six message
+types each way -- and **content-addressed**: the parent never ships a
+model until the worker says it does not have it.
+
+Parent -> worker::
+
+    ("sweep", sweep_id, fingerprint, engine_spec,
+              times, rewards, target)      start serving this sweep
+    ("model", fingerprint, blob)           pickled model payload
+    ("task", seq, linear, i, j, attempt)   evaluate one grid cell
+    ("stop",)                              exit cleanly
+
+Worker -> parent::
+
+    ("ready", worker_id)                   alive, protocol begins
+    ("need_model", fingerprint)            BLAKE2b handshake miss
+    ("sweep_ok", sweep_id)                 sweep context installed
+    ("heartbeat", monotonic_ts)            liveness (background thread)
+    ("result", seq, data, checksum, stats) cell result, raw float64
+                                           bytes + BLAKE2b checksum +
+                                           engine-stats delta
+    ("error", seq, type, message, tb)      the engine raised
+
+Design notes:
+
+* **Fingerprint handshake** -- the worker caches models by content
+  fingerprint across sweeps, so a long-lived worker pays the pickle
+  cost once per distinct model, and a respawned worker re-requests
+  automatically.  Engines are rebuilt from their
+  :meth:`~repro.algorithms.base.JointEngine.spec` (accuracy knobs +
+  kernel request), never pickled -- backends may hold unpicklable
+  jitted state.
+* **Heartbeats** -- a daemon thread beats every ``interval`` seconds
+  whatever the compute thread is doing (the kernels release the GIL),
+  so the parent can tell "still crunching" from "frozen".  The same
+  thread watches the parent pid: if the parent dies -- including
+  ``kill -9``, where no cleanup ever runs -- the worker notices its
+  reparenting and exits immediately, so no orphan can outlive the
+  parent.
+* **Checksummed results** -- the result bytes are hashed *before* the
+  send, so any corruption in transport (or injected by the fault
+  harness after hashing) is detected by the parent and retried rather
+  than silently merged into the grid.
+* **Fault injection** -- when a :class:`~repro.exec.faultinject.\
+FaultPlan` is active (explicit spec or the ``REPRO_FAULTS``
+  environment variable), the worker consults it per ``(cell,
+  attempt)`` right before computing; see :mod:`repro.exec.faultinject`
+  for the kinds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import signal
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.faultinject import FaultPlan
+
+#: Injected hangs sleep this long; the parent's heartbeat-staleness
+#: kill always fires first.
+HANG_SECONDS = 3600.0
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+class _Heartbeat(threading.Thread):
+    """Beats on the pipe and watches the parent process.
+
+    ``pause()`` silences the beat (the injected-hang fault uses it so
+    the parent's staleness detector, not a timeout, finds the hang).
+    The parent-death watch always runs: when ``os.getppid()`` changes,
+    the parent is gone and the worker hard-exits -- this is what keeps
+    ``kill -9`` of the parent from leaving orphans.
+    """
+
+    def __init__(self, conn, send_lock: threading.Lock,
+                 interval: float):
+        super().__init__(daemon=True)
+        self.conn = conn
+        self.send_lock = send_lock
+        self.interval = interval
+        self.parent = os.getppid()
+        self._paused = threading.Event()
+        self._stopped = threading.Event()
+
+    def pause(self) -> None:
+        self._paused.set()
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+    def run(self) -> None:
+        while not self._stopped.wait(self.interval):
+            if os.getppid() != self.parent:
+                os._exit(2)
+            if self._paused.is_set():
+                continue
+            try:
+                with self.send_lock:
+                    self.conn.send(("heartbeat", time.monotonic()))
+            except (BrokenPipeError, OSError):
+                os._exit(2)
+
+
+class _SweepContext:
+    """The installed sweep: model, rebuilt engine, grid axes, target."""
+
+    def __init__(self, sweep_id: int, fingerprint: str,
+                 engine_spec: Dict[str, Any], times, rewards, target):
+        from repro.algorithms.base import get_engine
+        self.sweep_id = sweep_id
+        self.fingerprint = fingerprint
+        self.times = list(times)
+        self.rewards = list(rewards)
+        self.target = list(target)
+        options = dict(engine_spec.get("options", {}))
+        self.engine = get_engine(engine_spec["engine"], **options)
+        self.model = None  # installed once the payload arrives
+
+
+def _apply_pre_fault(fault: Optional[str],
+                     heartbeat: _Heartbeat) -> None:
+    """Faults that fire before the engine runs."""
+    if fault == "crash":
+        os._exit(13)
+    if fault == "oom":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault == "hang":
+        heartbeat.pause()
+        time.sleep(HANG_SECONDS)
+        os._exit(3)  # pragma: no cover - the parent kills us first
+
+
+def _corrupt(data: bytes) -> bytes:
+    """Flip one byte -- guaranteed to fail the checksum."""
+    flipped = bytearray(data)
+    flipped[0] ^= 0xFF
+    return bytes(flipped)
+
+
+def _run_task(context: _SweepContext, message: Tuple,
+              plan: FaultPlan, heartbeat: _Heartbeat,
+              conn, send_lock: threading.Lock) -> None:
+    _, seq, linear, i, j, attempt = message
+    fault = plan.fault_for(int(linear), int(attempt))
+    if plan.sleep > 0.0:
+        time.sleep(plan.sleep)
+    _apply_pre_fault(fault, heartbeat)
+    engine = context.engine
+    before = engine.stats.as_dict()
+    try:
+        vector = engine.joint_probability_vector(
+            context.model, context.times[i], context.rewards[j],
+            context.target)
+    except BaseException as exc:  # noqa: BLE001 - shipped to parent
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        with send_lock:
+            conn.send(("error", seq, type(exc).__name__, str(exc),
+                       traceback.format_exc()))
+        return
+    after = engine.stats.as_dict()
+    delta = {key: after[key] - before[key] for key in after}
+    data = np.ascontiguousarray(vector, dtype="<f8").tobytes()
+    checksum = _checksum(data)
+    if fault == "corrupt":
+        data = _corrupt(data)
+    with send_lock:
+        conn.send(("result", seq, data, checksum, delta))
+
+
+def worker_main(conn, worker_id: int, heartbeat_interval: float,
+                fault_spec: Optional[str]) -> None:
+    """Entry point of one worker process (see the module docstring)."""
+    plan = (FaultPlan.parse(fault_spec) if fault_spec is not None
+            else FaultPlan.from_env())
+    send_lock = threading.Lock()
+    heartbeat = _Heartbeat(conn, send_lock, heartbeat_interval)
+    heartbeat.start()
+    models: Dict[str, Any] = {}
+    context: Optional[_SweepContext] = None
+    try:
+        with send_lock:
+            conn.send(("ready", worker_id))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone
+            kind = message[0]
+            if kind == "stop":
+                break
+            elif kind == "sweep":
+                context = _SweepContext(*message[1:])
+                model = models.get(context.fingerprint)
+                if model is None:
+                    with send_lock:
+                        conn.send(("need_model", context.fingerprint))
+                else:
+                    context.model = model
+                    with send_lock:
+                        conn.send(("sweep_ok", context.sweep_id))
+            elif kind == "model":
+                _, fingerprint, blob = message
+                models[fingerprint] = pickle.loads(blob)
+                if (context is not None
+                        and context.fingerprint == fingerprint):
+                    context.model = models[fingerprint]
+                    with send_lock:
+                        conn.send(("sweep_ok", context.sweep_id))
+            elif kind == "task":
+                if context is None or context.model is None:
+                    with send_lock:
+                        conn.send(("error", message[1], "ProtocolError",
+                                   "task before sweep context", ""))
+                    continue
+                _run_task(context, message, plan, heartbeat, conn,
+                          send_lock)
+            # Unknown kinds are ignored: forward protocol compatibility.
+    finally:
+        heartbeat.stop()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

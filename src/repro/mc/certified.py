@@ -33,6 +33,7 @@ import numpy as np
 from repro.algorithms.base import JointEngine, get_engine
 from repro.ctmc.mrm import MarkovRewardModel
 from repro.errors import NumericalError, UnsupportedFormulaError
+from repro.exec import BREAKERS, breaker_key
 from repro.logic import ast
 from repro.mc import until
 from repro.mc.budget import Budget
@@ -54,15 +55,25 @@ class EngineFailure:
     ``skipped_static`` marks engines the static compatibility analysis
     (:func:`repro.analysis.engine_compatibility`) ruled out *before*
     any invocation -- the engine never ran, so no runtime error was
-    paid for the knowledge.
+    paid for the knowledge.  ``skipped_breaker`` marks engines whose
+    circuit breaker (:data:`repro.exec.BREAKERS`) was open from recent
+    repeated failures: the chain degrades past them immediately rather
+    than paying for another likely failure, and retries once the
+    breaker's cooldown admits a probe.
     """
 
     engine: str
     reason: str
     skipped_static: bool = False
+    skipped_breaker: bool = False
 
     def __str__(self) -> str:
-        prefix = "skipped (static): " if self.skipped_static else ""
+        if self.skipped_static:
+            prefix = "skipped (static): "
+        elif self.skipped_breaker:
+            prefix = "skipped (breaker): "
+        else:
+            prefix = ""
         return f"{self.engine}: {prefix}{self.reason}"
 
 
@@ -238,6 +249,20 @@ class CertifiedChecker:
             if veto is not None:
                 failures.append(veto)
                 continue  # never invoked; degrade without a round spent
+            # Consult -- but never create -- the engine's circuit
+            # breaker: an executor run that repeatedly crashed or timed
+            # out on this engine/kernel pair opens it, and the chain
+            # degrades past the engine while the breaker cools down.
+            # allow() on a half-open breaker admits this chain walk as
+            # the probe; the outcome below closes or re-opens it.
+            breaker = BREAKERS.get(breaker_key(engine))
+            if breaker is not None and not breaker.allow():
+                failures.append(EngineFailure(
+                    engine.name,
+                    f"circuit breaker {breaker.key!r} is open "
+                    f"({breaker.consecutive_failures} recent failures)",
+                    skipped_breaker=True))
+                continue
             current: Optional[JointEngine] = engine
             while current is not None:
                 if not budget.take_round():
@@ -261,8 +286,14 @@ class CertifiedChecker:
                 except UnsupportedFormulaError:
                     raise
                 except NumericalError as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
                     failures.append(EngineFailure(current.name, str(exc)))
                     break  # degrade to the next engine in the chain
+                if breaker is not None:
+                    # A produced enclosure closes a half-open breaker,
+                    # so a consumed probe never leaves it stuck open.
+                    breaker.record_success()
                 width = self._initial_width(lower, upper)
                 if best is None or width < best[0]:
                     best = (width, lower, upper, current.name)

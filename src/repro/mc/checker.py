@@ -201,7 +201,9 @@ EngineStats` as a plain dict: ``cache_hits``/``cache_misses`` against
                                 left: FormulaLike,
                                 right: FormulaLike,
                                 times,
-                                rewards) -> np.ndarray:
+                                rewards,
+                                executor=None,
+                                checkpoint=None) -> np.ndarray:
         """P3 probabilities for a whole grid of ``(t, r)`` bounds.
 
         Returns the ``(len(times), len(rewards), |S|)`` array whose
@@ -212,12 +214,16 @@ EngineStats` as a plain dict: ``cache_hits``/``cache_misses`` against
         once and the engine shares the propagation prefix across the
         grid (:meth:`JointEngine.joint_probability_sweep`), instead of
         one full propagation per bound pair.
+
+        *executor*/*checkpoint* switch to the fault-tolerant cell-by-
+        cell evaluation (crash-isolated worker processes, durable
+        resume; see :mod:`repro.exec`) with bit-identical values.
         """
         phi = set(self.satisfaction_set(left))
         psi = set(self.satisfaction_set(right))
         return until.time_reward_bounded_until_sweep(
             self.model, phi, psi, times, rewards, self.engine,
-            lump=self.lump)
+            lump=self.lump, executor=executor, checkpoint=checkpoint)
 
     def until_probability_sweeps(self,
                                  pairs,
@@ -282,7 +288,9 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
                                         times,
                                         rewards,
                                         deadline: Optional[float] = None,
-                                        max_workers: Optional[int] = None):
+                                        max_workers: Optional[int] = None,
+                                        executor=None,
+                                        checkpoint=None):
         """Deadline-bounded variant of :meth:`until_probability_sweep`.
 
         Evaluates the ``(t, r)`` grid cell by cell under an absolute
@@ -294,6 +302,14 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
         isolated into ``failures`` rather than poisoning the finished
         cells.  Completed cells land in the shared joint-vector cache,
         so a retry of the same grid resumes where this call stopped.
+
+        *executor* shards the cells over crash-isolated worker
+        processes (``"process"`` or a :class:`~repro.exec.\
+ProcessShardExecutor`) instead of in-process threads; *checkpoint* (a
+        path) additionally makes every completed cell durable, so the
+        grid survives the death of this process and a re-run resumes
+        from the file.  Results are bit-identical in all
+        configurations.
         """
         from dataclasses import replace
         phi = set(self.satisfaction_set(left))
@@ -303,13 +319,15 @@ CertifiedCheckResult` whose verdict is TRUE/FALSE only when certified.
         if pre is not None:
             partial = self.engine.joint_probability_sweep_partial(
                 pre.quotient, times, rewards, pre.psi_blocks,
-                deadline=deadline, max_workers=max_workers)
+                deadline=deadline, max_workers=max_workers,
+                executor=executor, checkpoint=checkpoint)
             partial = replace(partial,
                               grid=partial.grid[..., pre.block_of])
         else:
             partial = self.engine.joint_probability_sweep_partial(
                 reduced, times, rewards, psi, deadline=deadline,
-                max_workers=max_workers)
+                max_workers=max_workers, executor=executor,
+                checkpoint=checkpoint)
         return replace(partial, grid=np.clip(partial.grid, 0.0, 1.0))
 
     # ------------------------------------------------------------------

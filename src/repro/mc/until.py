@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.algorithms.base import JointEngine
 from repro.ctmc.mrm import MarkovRewardModel
-from repro.errors import UnsupportedFormulaError
+from repro.errors import NumericalError, UnsupportedFormulaError
 from repro.logic.intervals import Interval
 from repro.mc import prepass
 from repro.mc.transform import (until_reduction, dual_model,
@@ -217,8 +217,9 @@ def time_reward_bounded_until_sweep(model: MarkovRewardModel,
                                     times: Sequence[float],
                                     rewards: Sequence[float],
                                     engine: JointEngine,
-                                    lump: prepass.LumpMode = "auto"
-                                    ) -> np.ndarray:
+                                    lump: prepass.LumpMode = "auto",
+                                    executor=None,
+                                    checkpoint=None) -> np.ndarray:
     """P3 probabilities for a whole ``(t, r)`` grid of bounds.
 
     Returns the ``(len(times), len(rewards), |S|)`` array whose cell
@@ -230,6 +231,17 @@ def time_reward_bounded_until_sweep(model: MarkovRewardModel,
     (:meth:`JointEngine.joint_probability_sweep`) instead of one
     propagation per bound pair.  All bounds must be finite; unbounded
     rows or columns belong to the cheaper P0--P2 procedures.
+
+    With *executor* (``"process"`` or a
+    :class:`~repro.exec.ProcessShardExecutor`) and/or *checkpoint*
+    (a path) the grid is evaluated cell by cell through the
+    fault-tolerant partial-sweep machinery instead of the all-or-
+    nothing shared-prefix run, with durable per-cell progress; values
+    are bit-identical.  This full-grid entry point still promises a
+    complete grid, so cells that permanently failed raise a
+    :class:`~repro.errors.ParallelExecutionError` carrying every
+    per-cell failure (resuming from the checkpoint retries only the
+    missing cells).
     """
     for t in times:
         if math.isinf(t):
@@ -243,11 +255,26 @@ def time_reward_bounded_until_sweep(model: MarkovRewardModel,
                 "unbounded formula separately")
     reduced = until_reduction(model, phi, psi)
     pre = prepass.prepare(reduced, psi, mode=lump)
-    if pre is not None:
-        grid = np.asarray(engine.joint_probability_sweep(
-            pre.quotient, times, rewards, pre.psi_blocks))
-        grid = grid[..., pre.block_of]
+    work_model = reduced if pre is None else pre.quotient
+    work_target = psi if pre is None else pre.psi_blocks
+    if executor is not None or checkpoint is not None:
+        partial = engine.joint_probability_sweep_partial(
+            work_model, times, rewards, work_target,
+            executor=executor, checkpoint=checkpoint)
+        if not partial.complete:
+            from repro.errors import ParallelExecutionError, WorkerError
+            failures = list(partial.failures)
+            if not failures:
+                failures = [
+                    WorkerError(pos, NumericalError("cell not evaluated"),
+                                f"cell (t={times[i]}, r={rewards[j]})")
+                    for pos, (i, j) in enumerate(partial.unevaluated)]
+            raise ParallelExecutionError(
+                failures, len(times) * len(rewards))
+        grid = np.asarray(partial.grid)
     else:
-        grid = engine.joint_probability_sweep(reduced, times, rewards,
-                                              psi)
+        grid = np.asarray(engine.joint_probability_sweep(
+            work_model, times, rewards, work_target))
+    if pre is not None:
+        grid = grid[..., pre.block_of]
     return np.clip(grid, 0.0, 1.0)

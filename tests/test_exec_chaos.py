@@ -1,0 +1,262 @@
+"""Chaos suite: injected worker faults must never change the numbers.
+
+Every scenario runs a Table-4-style ``(t, r)`` sweep grid through the
+process executor while the fault-injection harness
+(:mod:`repro.exec.faultinject`) crashes, hangs, corrupts or OOM-kills
+workers on schedule, and asserts the surviving grid is **bit-identical**
+to a fault-free threaded run -- fault tolerance that changed the
+answer would be worse than a crash.  The subprocess scenarios
+additionally prove the no-orphans contract (``kill -9`` of the parent
+leaves no worker behind) and exact checkpointed resume across hard
+parent death, plus the CLI's SIGINT behaviour (flush + exit 130).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import get_engine
+from repro.algorithms.cache import clear_caches
+from repro.exec import (BREAKERS, FaultPlan, ProcessShardExecutor,
+                        breaker_key)
+from tests.exec_sweep_driver import (REWARDS, TARGET, TIMES,
+                                     build_model, grid_checksum)
+
+DRIVER = os.path.join(os.path.dirname(__file__),
+                      "exec_sweep_driver.py")
+TOTAL_CELLS = len(TIMES) * len(REWARDS)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    clear_caches()
+    BREAKERS.reset()
+    yield
+    clear_caches()
+    BREAKERS.reset()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Fault-free threaded grid of the shared chaos workload."""
+    clear_caches()
+    engine = get_engine("sericola")
+    partial = engine.joint_probability_sweep_partial(
+        build_model(), TIMES, REWARDS, TARGET)
+    assert partial.complete
+    clear_caches()
+    return partial.grid.copy()
+
+
+def _run_chaos(faults: str, checkpoint=None):
+    engine = get_engine("sericola")
+    executor = ProcessShardExecutor(
+        max_workers=2, heartbeat_interval=0.05,
+        heartbeat_timeout=0.5, faults=faults)
+    partial = engine.joint_probability_sweep_partial(
+        build_model(), TIMES, REWARDS, TARGET, executor=executor,
+        checkpoint=checkpoint)
+    return partial, executor
+
+
+def _assert_no_orphans():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not mp.active_children():
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"worker processes outlived the sweep: {mp.active_children()}")
+
+
+# ----------------------------------------------------------------------
+# in-process chaos: rate-selected and explicit fault schedules
+# ----------------------------------------------------------------------
+
+def test_rate_chaos_grid_is_bit_identical(reference):
+    """>= 20% of cells fault on first attempt; the grid still matches
+    the fault-free run bit for bit and no worker lingers."""
+    spec = "rate=0.3;seed=4"
+    schedule = FaultPlan.parse(spec).faulted_cells(TOTAL_CELLS)
+    assert len(schedule) >= math.ceil(0.2 * TOTAL_CELLS)
+
+    partial, executor = _run_chaos(spec)
+    assert partial.complete
+    assert not partial.failures
+    assert partial.grid.tobytes() == reference.tobytes()
+    # Every crash/oom fault kills a worker; every fault costs a retry.
+    fatal = sum(1 for kind in schedule.values()
+                if kind in ("crash", "oom", "hang"))
+    assert executor.restarts >= fatal
+    assert executor.retries >= len(schedule)
+    _assert_no_orphans()
+
+
+def test_every_fault_kind_recovers(reference):
+    """One of each: crash, hang, corrupt result, OOM kill."""
+    partial, executor = _run_chaos("crash@0;hang@2;corrupt@4;oom@5")
+    assert partial.complete
+    assert partial.grid.tobytes() == reference.tobytes()
+    assert executor.restarts >= 3  # crash, hang, oom killed workers
+    assert executor.retries >= 4
+    _assert_no_orphans()
+
+
+def test_double_fault_exhausts_then_retries_succeed(reference):
+    """Cells faulting on the first *two* attempts still complete under
+    the default three-retry policy."""
+    partial, executor = _run_chaos("crash@1,7;attempts=2")
+    assert partial.complete
+    assert partial.grid.tobytes() == reference.tobytes()
+    assert executor.retries >= 4  # two cells x two faulted attempts
+    _assert_no_orphans()
+
+
+def test_chaos_with_checkpoint_resume(reference, tmp_path):
+    """A faulted, checkpointed run resumes into a clean run exactly."""
+    path = str(tmp_path / "chaos.jsonl")
+    first, _ = _run_chaos("rate=0.3;seed=4", checkpoint=path)
+    assert first.complete
+
+    clear_caches()
+    engine = get_engine("sericola")
+    resumed = engine.joint_probability_sweep_partial(
+        build_model(), TIMES, REWARDS, TARGET,
+        executor=ProcessShardExecutor(max_workers=2), checkpoint=path)
+    assert resumed.complete
+    assert resumed.grid.tobytes() == reference.tobytes()
+    _assert_no_orphans()
+
+
+def test_breaker_open_skips_certified_engine(flip_flop):
+    """An open breaker degrades the certified chain, visibly."""
+    from repro.mc.certified import CertifiedChecker
+    engine = get_engine("sericola")
+    breaker = BREAKERS.breaker(breaker_key(engine))
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+    result = CertifiedChecker(flip_flop).check(
+        "P>0.5 [ up U[0,1][0,2] down ]")
+    skips = [f for f in result.failures if f.skipped_breaker]
+    assert skips and skips[0].engine == "sericola"
+    assert result.engine != "sericola"
+    assert result.verdict is not None
+
+
+# ----------------------------------------------------------------------
+# subprocess chaos: hard parent death and SIGINT
+# ----------------------------------------------------------------------
+
+def _driver_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(DRIVER), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return env
+
+
+def _surviving_driver_pids():
+    pids = []
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit():
+            continue
+        try:
+            with open(f"/proc/{pid}/cmdline", "rb") as handle:
+                cmdline = handle.read().decode("utf-8", "replace")
+        except OSError:
+            continue
+        if "exec_sweep_driver" in cmdline:
+            pids.append(int(pid))
+    return pids
+
+
+def _wait_for_checkpoint_rows(path: str, rows: int,
+                              timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                if sum(1 for _ in handle) >= rows + 1:  # + header
+                    return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError(
+        f"checkpoint {path} never reached {rows} data rows")
+
+
+def test_kill9_parent_resumes_exactly_with_no_orphans(reference,
+                                                      tmp_path):
+    """``kill -9`` of the driving process mid-sweep: the orphaned
+    workers exit on their own, and a re-run resumes from the
+    checkpoint to the exact fault-free grid."""
+    path = str(tmp_path / "kill9.jsonl")
+    proc = subprocess.Popen(
+        [sys.executable, DRIVER, "--checkpoint", path,
+         "--faults", "sleep=0.25", "--max-workers", "2"],
+        env=_driver_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE)
+    try:
+        _wait_for_checkpoint_rows(path, rows=2, timeout=30.0)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10.0)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup only
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == -signal.SIGKILL
+
+    # The orphaned workers notice the reparenting and exit by
+    # themselves -- nothing is left to send them signals.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if not _surviving_driver_pids():
+            break
+        time.sleep(0.1)
+    assert not _surviving_driver_pids()
+
+    done = subprocess.run(
+        [sys.executable, DRIVER, "--checkpoint", path,
+         "--max-workers", "2"],
+        env=_driver_env(), capture_output=True, text=True,
+        timeout=120.0)
+    assert done.returncode == 0, done.stderr
+    facts = dict(line.split("=", 1)
+                 for line in done.stdout.strip().splitlines())
+    assert int(facts["resumed"]) >= 2
+    assert int(facts["computed"]) <= TOTAL_CELLS - 2
+    assert facts["checksum"] == grid_checksum(reference)
+    assert not _surviving_driver_pids()
+
+
+def test_cli_sigint_flushes_checkpoint_and_exits_130(tmp_path):
+    path = str(tmp_path / "sigint.jsonl")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "check", "--model",
+         "adhoc", "--formula", "Q3", "--sweep-times", "6,12,24,36",
+         "--sweep-rewards", "150,300,600", "--executor", "process",
+         "--max-workers", "2", "--checkpoint", path],
+        env=dict(_driver_env(), REPRO_FAULTS="sleep=0.8"),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        _wait_for_checkpoint_rows(path, rows=1, timeout=60.0)
+        proc.send_signal(signal.SIGINT)
+        _, err = proc.communicate(timeout=60.0)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup only
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 130
+    assert "interrupted" in err
+    assert path in err  # the resume hint names the checkpoint
+    with open(path, "r", encoding="utf-8") as handle:
+        assert sum(1 for _ in handle) >= 2  # header + flushed cells
