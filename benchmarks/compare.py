@@ -6,10 +6,12 @@ Aligns the table rows of two benchmark runs by their sweep key
 drift and the wall-clock ratio, plus the headline sections (batched
 speedup, cache behaviour, total runtime).  Handles schema 1
 (pre-registry), schema 2 (registry counters), schema 3 (kernel
-backend + throughput) and schema 4 (peak RSS) files -- the row keys
-compared here exist in all four, and newer-schema-only fields
-(``kernel_backend``, ``states_per_second``, ``peak_rss_bytes``) are
-simply reported when present.
+backend + throughput), schema 4 (peak RSS) and schema 5
+(cross-process RSS roll-up + ``obs_overhead`` section) files -- the
+row keys compared here exist in all five, and newer-schema-only
+fields (``kernel_backend``, ``states_per_second``,
+``peak_rss_bytes``, ``worker_peak_rss_bytes``) are simply reported
+when present.
 
 Usage::
 

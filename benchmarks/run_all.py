@@ -57,7 +57,13 @@ REFERENCE = adhoc.Q3_REFERENCE_VALUE
 #: rows carry ``peak_rss_bytes`` (the process high-water mark sampled
 #: by the engines' observability wrapper) and ``kernel_backend``
 #: reports the *resolved* backend when the engine ran on ``auto``.
-SCHEMA_VERSION = 4
+#: 5 = ``peak_rss_bytes`` is read from the cross-process roll-up gauge
+#: ``repro_peak_rss_bytes_max`` (the per-process gauges are now
+#: ``worker=``-labelled), rows gain ``worker_peak_rss_bytes`` (the
+#: largest single process's high-water mark) and the file carries an
+#: ``obs_overhead`` section timing an obs-on process sweep against the
+#: dark run (the PR 5 overhead contract extended to the executor).
+SCHEMA_VERSION = 5
 
 QUICK = {
     "epsilons": [1e-2, 1e-4, 1e-6],
@@ -112,9 +118,14 @@ def _registry_row(engine_name: str) -> dict:
     fox = snapshot.get("repro_fox_glynn_seconds", {}).get("")
     if fox and fox.get("count"):
         row["fox_glynn_seconds"] = round(float(fox["sum"]), 6)
-    rss = snapshot.get("repro_peak_rss_bytes", {}).get("")
+    rss = snapshot.get("repro_peak_rss_bytes_max", {}).get("")
     if rss:
         row["peak_rss_bytes"] = int(rss)
+    worker_rss = [int(value) for labels, value in
+                  snapshot.get("repro_peak_rss_bytes", {}).items()
+                  if "worker=" in labels]
+    if worker_rss:
+        row["worker_peak_rss_bytes"] = max(worker_rss)
     return row
 
 
@@ -254,6 +265,56 @@ def bench_cache(setting) -> dict:
     }
 
 
+def bench_obs_overhead(setting) -> dict:
+    """Cross-process aggregation overhead: obs-on sweep vs dark run.
+
+    Worker telemetry (metric snapshots, span segments, the flight
+    recorder) piggybacks on the result pipe; this times the same
+    process-executor grid with observability off and on and reports
+    the overhead.  The 5% budget is the PR 5 contract extended to the
+    executor -- exceeding it prints a warning and is recorded in the
+    row, so regressions are visible in the BENCH diff.
+    """
+    from repro.exec import ProcessShardExecutor
+    model, goal, _initial, time_bound, reward_bound = setting
+    times = [time_bound / 2.0, time_bound]
+    rewards = [reward_bound / 2.0, reward_bound]
+    engine = DiscretizationEngine(step=1.0 / 32)
+
+    def run():
+        partial = engine.joint_probability_sweep_partial(
+            model, times, rewards, [goal],
+            executor=ProcessShardExecutor(max_workers=2))
+        assert partial.complete
+        return partial
+
+    clear_caches()
+    _, seconds_off = _timed(run)
+    clear_caches()
+    with OBS.capture(reset_metrics=True):
+        _, seconds_on = _timed(run)
+        snapshot = REGISTRY.snapshot()
+    worker_rss = [int(value) for labels, value in
+                  snapshot.get("repro_peak_rss_bytes", {}).items()
+                  if "worker=" in labels]
+    overhead_pct = (100.0 * (seconds_on - seconds_off) / seconds_off
+                    if seconds_off > 0.0 else 0.0)
+    within = overhead_pct <= 5.0
+    if not within:
+        print("  WARNING: cross-process observability overhead "
+              f"{overhead_pct:.1f}% exceeds the 5% budget")
+    print(f"  obs off {seconds_off:.3f}s | obs on {seconds_on:.3f}s "
+          f"| overhead {overhead_pct:+.1f}%")
+    return {
+        "grid_cells": len(times) * len(rewards),
+        "seconds_off": round(seconds_off, 4),
+        "seconds_on": round(seconds_on, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "within_budget": within,
+        "worker_peak_rss_bytes": max(worker_rss, default=0),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -289,6 +350,8 @@ def main(argv=None) -> int:
     cache = bench_cache(setting)
     print("Shared-prefix (t, r) grid sweep:")
     sweep = sweep_section(quick=arguments.quick)
+    print("Cross-process telemetry aggregation overhead:")
+    obs_overhead = bench_obs_overhead(setting)
 
     results = {
         "schema": SCHEMA_VERSION,
@@ -310,6 +373,7 @@ def main(argv=None) -> int:
         "batched_speedup": speedup,
         "cache": cache,
         "sweep": sweep,
+        "obs_overhead": obs_overhead,
     }
     stamp = datetime.date.today().strftime("%Y%m%d")
     output = arguments.output or (

@@ -246,8 +246,14 @@ class JointEngine(ABC):
             return
         depth = getattr(_OBS_DEPTH, "value", 0)
         _OBS_DEPTH.value = depth + 1
+        # Labelled worker clones defer counter publication to their
+        # fan-out site (which publishes the whole clone delta under
+        # ``worker=thread-i``) -- self-publication here would depend on
+        # whether the pool ran the task inline or on a fresh thread.
+        deferred = getattr(self, "_obs_worker_label", None) is not None
         before = (self.stats.as_dict()
-                  if publish_stats and depth == 0 else None)
+                  if publish_stats and depth == 0 and not deferred
+                  else None)
         start = time.perf_counter()
         with OBS.tracer.span(name, engine=self.name,
                              **attributes) as span:
@@ -263,8 +269,15 @@ class JointEngine(ABC):
                     record_engine_stats(OBS.metrics, self.name, delta)
                 rss = peak_rss_bytes()
                 if rss:
+                    # Worker-labelled sample plus the derived roll-up
+                    # (the BENCH rows and thread/process parity both
+                    # read the ``_max`` roll-up; see repro.obs.remote).
                     OBS.metrics.gauge(
-                        "repro_peak_rss_bytes").update_max(rss)
+                        "repro_peak_rss_bytes",
+                        worker=getattr(self, "_obs_worker_label",
+                                       None) or "main").update_max(rss)
+                    OBS.metrics.gauge(
+                        "repro_peak_rss_bytes_max").update_max(rss)
                 if histogram is not None:
                     OBS.metrics.histogram(
                         histogram, engine=self.name).observe(elapsed)
@@ -605,7 +618,8 @@ class JointEngine(ABC):
                             key, frozen)
             cells = [(i, j) for i, j in all_cells
                      if not completed_mask[i, j]]
-            clones = [self._worker_clone() for _ in cells]
+            clones = [self._worker_clone(label=f"thread-{pos}")
+                      for pos in range(len(cells))]
             engine_name = self.name
 
             def run(task):
@@ -631,6 +645,9 @@ class JointEngine(ABC):
                     run, list(zip(clones, cells)), deadline=deadline,
                     max_workers=max_workers, labels=labels)
             finally:
+                from repro.algorithms.parallel import \
+                    publish_clone_stats
+                publish_clone_stats(engine_name, clones)
                 for clone in clones:
                     self.stats.merge(clone.stats)
                 if own_checkpoint:
@@ -761,17 +778,22 @@ class JointEngine(ABC):
                                                         indicator)
         return grid
 
-    def _worker_clone(self) -> "JointEngine":
+    def _worker_clone(self,
+                      label: Optional[str] = None) -> "JointEngine":
         """A shallow copy with a private :class:`EngineStats`.
 
         The threaded fan-out (:mod:`repro.algorithms.parallel`) gives
         every worker its own clone so counter updates never race;
         accuracy parameters (and hence cache tokens) are shared, so
         clones interoperate with the result cache exactly like the
-        original.
+        original.  *label* (e.g. ``"thread-3"``) tags the clone's
+        published engine-stats counters and RSS gauge with a
+        ``worker=`` label, mirroring the process executor's
+        ``process-N`` scheme.
         """
         clone = copy.copy(self)
         clone._stats = EngineStats()
+        clone._obs_worker_label = label
         return clone
 
     def joint_probability(self,

@@ -261,6 +261,32 @@ def deadline_map(function: Callable[[_T], _R],
     return results, completed, failures
 
 
+def publish_clone_stats(engine_name: str, clones) -> None:
+    """Publish each worker clone's counter delta, worker-labelled.
+
+    Every fan-out gives its clones fresh
+    :class:`~repro.algorithms.cache.EngineStats`, so a clone's
+    counters *are* its delta.  Publication happens here, at the
+    fan-out site, rather than inside the clone's own engine span --
+    whether a pool ran a task inline or on a fresh thread must not
+    decide whether its counters surface.  The labels
+    (``worker="thread-i"``) mirror the process executor's
+    ``worker="process-N"`` scheme, so summing a counter over its
+    ``worker`` label gives the same totals whichever executor ran the
+    sweep.
+    """
+    if not OBS.enabled:
+        return
+    from repro.obs import record_engine_stats
+    for clone in clones:
+        delta = clone.stats.as_dict()
+        if any(delta.values()):
+            record_engine_stats(
+                OBS.metrics, engine_name, delta,
+                worker=getattr(clone, "_obs_worker_label", None)
+                or "thread-?")
+
+
 def parallel_joint_vectors(engine,
                            queries: Iterable[Tuple],
                            max_workers: Optional[int] = None
@@ -274,7 +300,8 @@ def parallel_joint_vectors(engine,
     task fails -- completed workers' counters are never lost).
     """
     queries = list(queries)
-    clones = [engine._worker_clone() for _ in queries]
+    clones = [engine._worker_clone(label=f"thread-{i}")
+              for i in range(len(queries))]
 
     def run(task):
         clone, (model, t, r, target) = task
@@ -286,6 +313,7 @@ def parallel_joint_vectors(engine,
         return threaded_map(run, list(zip(clones, queries)),
                             max_workers, labels=labels)
     finally:
+        publish_clone_stats(engine.name, clones)
         for clone in clones:
             engine.stats.merge(clone.stats)
 
@@ -303,7 +331,8 @@ def parallel_joint_sweeps(engine,
     so the two reuse layers compose.
     """
     queries = list(queries)
-    clones = [engine._worker_clone() for _ in queries]
+    clones = [engine._worker_clone(label=f"thread-{i}")
+              for i in range(len(queries))]
 
     def run(task):
         clone, (model, times, rewards, target) = task
@@ -315,5 +344,6 @@ def parallel_joint_sweeps(engine,
         return threaded_map(run, list(zip(clones, queries)),
                             max_workers, labels=labels)
     finally:
+        publish_clone_stats(engine.name, clones)
         for clone in clones:
             engine.stats.merge(clone.stats)

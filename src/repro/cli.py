@@ -141,6 +141,18 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write the captured span trace as JSON "
                             "lines to FILE (implies capturing)")
+    check.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve the live metrics registry as "
+                            "Prometheus text on "
+                            "http://127.0.0.1:PORT/metrics for the "
+                            "duration of the run (0 = ephemeral "
+                            "port; the URL is printed to stderr)")
+    check.add_argument("--progress", action="store_true",
+                       help="live progress line on stderr for "
+                            "process-executor sweeps: cells "
+                            "done/total, rate, ETA, worker states, "
+                            "open breakers, RSS")
     check.set_defaults(handler=_cmd_check)
 
     profile = sub.add_parser(
@@ -280,13 +292,22 @@ def _cmd_check(args) -> int:
     checker = ModelChecker(model, engine=engine, epsilon=args.epsilon,
                            lump=False if args.no_lump else "auto")
     formula = _resolve_formula(args.formula, args.model)
-    if not (args.profile or args.trace_out):
-        return _run_check(checker, model, formula, args)
-    from repro.obs import OBS
-    with OBS.capture():
-        code = _run_check(checker, model, formula, args)
-    _emit_capture(args)
-    return code
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs import serve_metrics
+        server = serve_metrics(port=args.metrics_port)
+        print(f"metrics: serving {server.url}", file=sys.stderr)
+    try:
+        if not (args.profile or args.trace_out):
+            return _run_check(checker, model, formula, args)
+        from repro.obs import OBS
+        with OBS.capture():
+            code = _run_check(checker, model, formula, args)
+        _emit_capture(args)
+        return code
+    finally:
+        if server is not None:
+            server.close()
 
 
 def _run_check(checker: ModelChecker, model, formula: str, args) -> int:
@@ -379,10 +400,28 @@ def _sweep_check(checker: ModelChecker, model, formula: str,
     times = _parse_grid_axis(args.sweep_times, "--sweep-times")
     rewards = _parse_grid_axis(args.sweep_rewards, "--sweep-rewards")
 
-    partial = checker.until_probability_sweep_partial(
-        path.left, path.right, times, rewards,
-        max_workers=args.max_workers,
-        executor=args.executor, checkpoint=args.checkpoint)
+    executor = args.executor
+    progress_on = getattr(args, "progress", False)
+    if progress_on and args.executor == "process":
+        from repro.exec import ProcessShardExecutor
+
+        def _render_progress(snapshot) -> None:
+            print("\r" + snapshot.render(), end="", file=sys.stderr,
+                  flush=True)
+
+        executor = ProcessShardExecutor(max_workers=args.max_workers,
+                                        progress=_render_progress)
+    elif progress_on:
+        print("--progress needs --executor process; ignoring",
+              file=sys.stderr)
+    try:
+        partial = checker.until_probability_sweep_partial(
+            path.left, path.right, times, rewards,
+            max_workers=args.max_workers,
+            executor=executor, checkpoint=args.checkpoint)
+    finally:
+        if executor is not args.executor:
+            print(file=sys.stderr)  # close the \r progress line
 
     initial = int(np.argmax(model.initial_distribution))
     total = len(times) * len(rewards)
@@ -405,6 +444,8 @@ def _sweep_check(checker: ModelChecker, model, formula: str,
         print("failures:", file=sys.stderr)
         for failure in partial.failures:
             print(f"  - {failure}", file=sys.stderr)
+            if args.verbose:
+                _print_flight_tail(failure, file=sys.stderr)
     if not partial.complete and args.checkpoint:
         print(f"re-run with --checkpoint {args.checkpoint} to retry "
               f"only the missing cells", file=sys.stderr)
@@ -440,8 +481,33 @@ def _certified_check(checker: ModelChecker, model, formula: str,
         print("degradation record:")
         for failure in result.failures:
             print(f"  - {failure}")
+            if args.verbose:
+                _print_flight_tail(failure)
     return {Verdict.TRUE: 0, Verdict.FALSE: 1,
             Verdict.UNKNOWN: 2}[result.verdict]
+
+
+def _print_flight_tail(failure, file=sys.stdout) -> None:
+    """``-v``: the dying worker's last flight-recorder events.
+
+    Accepts anything with a ``flight_tail`` attribute -- a
+    :class:`~repro.errors.WorkerError`, a
+    :class:`~repro.mc.certified.EngineFailure` -- and stays silent
+    when there is no tail (thread-pool failures, clean engine errors).
+    """
+    tail = getattr(failure, "flight_tail", ())
+    if not tail:
+        cause = getattr(failure, "cause", None)
+        tail = getattr(cause, "flight_tail", ())
+    if not tail:
+        return
+    print("    worker flight recorder (last events):", file=file)
+    for event in tail:
+        kind = event.get("kind", "?")
+        detail = " ".join(f"{key}={event[key]!r}"
+                          for key in sorted(event)
+                          if key not in ("kind", "ts"))
+        print(f"      {kind}: {detail}", file=file)
 
 
 def _cmd_profile(args) -> int:

@@ -78,16 +78,23 @@ class WorkerError(NumericalError):
         ``None`` when the caller provided no labels.
     cause:
         The exception the worker raised.
+    flight_tail:
+        The dying worker's last flight-recorder events (a tuple of
+        plain dicts, see :class:`repro.obs.recorder.FlightRecorder`),
+        attached by the process executor; empty for thread-pool
+        failures and when no recorder ran.
     """
 
     def __init__(self, index: int, cause: BaseException,
-                 label: "str | None" = None):
+                 label: "str | None" = None,
+                 flight_tail: "tuple | list" = ()):
         where = f"task {index}" + (f" ({label})" if label else "")
         super().__init__(
             f"{where} failed: {type(cause).__name__}: {cause}")
         self.index = int(index)
         self.label = label
         self.cause = cause
+        self.flight_tail = tuple(flight_tail)
 
     def __reduce__(self):
         # The default Exception reduction replays ``args`` -- a single
@@ -95,7 +102,8 @@ class WorkerError(NumericalError):
         # explodes.  Reconstructing from the real fields keeps the
         # error picklable, which process transport (:mod:`repro.exec`)
         # and anyone using ``multiprocessing`` relies on.
-        return (WorkerError, (self.index, self.cause, self.label))
+        return (WorkerError, (self.index, self.cause, self.label,
+                              self.flight_tail))
 
 
 class ParallelExecutionError(NumericalError):
@@ -140,10 +148,15 @@ class WorkerCrashError(NumericalError):
     exitcode:
         The process exit code (negative = killed by that signal), or
         ``None`` when the process was still alive (hang/timeout).
+    flight_tail:
+        The victim's last flight-recorder events (a tuple of plain
+        dicts), read back from its fsynced sidecar by the parent;
+        empty when no recorder ran or the sidecar was unreadable.
     """
 
     def __init__(self, reason: str, worker_id: "int | None" = None,
-                 exitcode: "int | None" = None):
+                 exitcode: "int | None" = None,
+                 flight_tail: "tuple | list" = ()):
         where = (f"worker {worker_id}" if worker_id is not None
                  else "worker")
         detail = f" (exit code {exitcode})" if exitcode is not None else ""
@@ -151,10 +164,12 @@ class WorkerCrashError(NumericalError):
         self.reason = reason
         self.worker_id = worker_id
         self.exitcode = exitcode
+        self.flight_tail = tuple(flight_tail)
 
     def __reduce__(self):
         return (WorkerCrashError,
-                (self.reason, self.worker_id, self.exitcode))
+                (self.reason, self.worker_id, self.exitcode,
+                 self.flight_tail))
 
 
 class RemoteTaskError(NumericalError):

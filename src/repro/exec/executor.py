@@ -49,9 +49,11 @@ import heapq
 import multiprocessing as mp
 import os
 import pickle
+import shutil
+import tempfile
 import time
-from typing import (Any, Dict, Iterable, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -63,8 +65,10 @@ from repro.errors import (NumericalError, RemoteTaskError,
 from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.retry import BREAKERS, BreakerRegistry, RetryPolicy
 from repro.exec.worker import _checksum, worker_main
-from repro.obs import OBS, REGISTRY
+from repro.obs import OBS, REGISTRY, record_engine_stats
 from repro.obs import span as obs_span
+from repro.obs.recorder import FlightRecorder, ResourceSampler
+from repro.obs.remote import merge_telemetry
 
 #: Environment override for the multiprocessing start method
 #: (``fork`` where available, else ``spawn``).
@@ -94,7 +98,7 @@ class _Worker:
     """Parent-side handle of one worker process."""
 
     __slots__ = ("process", "conn", "id", "ready", "acked",
-                 "last_heartbeat", "task", "dead")
+                 "last_heartbeat", "task", "dead", "last_span")
 
     def __init__(self, process, conn, worker_id: int):
         self.process = process
@@ -105,6 +109,10 @@ class _Worker:
         self.last_heartbeat = time.monotonic()
         self.task: Optional[_Assignment] = None
         self.dead = False
+        #: The parent-side "worker" span of this worker's most recent
+        #: result; the telemetry delta that follows on the same pipe is
+        #: re-parented under it.
+        self.last_span: Optional[Any] = None
 
     @property
     def idle(self) -> bool:
@@ -123,6 +131,59 @@ class _Assignment:
         self.attempt = attempt
         self.started = started
         self.deadline = deadline
+
+
+class SweepProgress:
+    """A point-in-time snapshot of a running process sweep.
+
+    Handed to the executor's ``progress`` callback (throttled to
+    ``progress_interval``); :meth:`render` formats the ``repro top``
+    style one-liner the CLI prints behind ``--progress``.
+    """
+
+    __slots__ = ("done", "total", "failed", "pending", "elapsed",
+                 "rate", "eta_seconds", "workers", "open_breakers",
+                 "rss_bytes")
+
+    def __init__(self, done: int, total: int, failed: int,
+                 pending: int, elapsed: float, rate: float,
+                 eta_seconds: Optional[float],
+                 workers: Dict[int, str],
+                 open_breakers: Tuple[str, ...],
+                 rss_bytes: Dict[str, int]):
+        self.done = done
+        self.total = total
+        self.failed = failed
+        self.pending = pending
+        self.elapsed = elapsed
+        self.rate = rate
+        self.eta_seconds = eta_seconds
+        self.workers = workers
+        self.open_breakers = open_breakers
+        self.rss_bytes = rss_bytes
+
+    def render(self) -> str:
+        pct = (100.0 * self.done / self.total if self.total else 100.0)
+        bits = [f"{self.done}/{self.total} cells ({pct:.0f}%)"]
+        if self.failed:
+            bits.append(f"{self.failed} failed")
+        bits.append(f"{self.rate:.2f} cells/s")
+        bits.append("eta --" if self.eta_seconds is None
+                    else f"eta {self.eta_seconds:.0f}s")
+        if self.workers:
+            bits.append(" ".join(
+                f"w{wid}:{state}"
+                for wid, state in sorted(self.workers.items())))
+        if self.open_breakers:
+            bits.append("breakers open: "
+                        + ",".join(self.open_breakers))
+        if self.rss_bytes:
+            bits.append(
+                f"rss {max(self.rss_bytes.values()) / 1e6:.0f}MB")
+        return " | ".join(bits)
+
+    def __repr__(self) -> str:
+        return f"SweepProgress({self.render()!r})"
 
 
 class ProcessShardExecutor:
@@ -156,6 +217,18 @@ BREAKERS` the certified checker reads).
         Fault-injection spec string shipped to every worker
         (:mod:`repro.exec.faultinject`); ``None`` lets workers read
         ``REPRO_FAULTS`` from their environment.
+    recorder_dir:
+        Directory for the per-worker flight-recorder sidecars
+        (``worker-<id>.jsonl``, see
+        :class:`~repro.obs.recorder.FlightRecorder`).  ``None``
+        (default) records into a temporary directory that is removed
+        when the run finishes -- tails are read *before* cleanup, so
+        failures still carry them; an explicit path is kept for
+        post-mortem inspection.
+    progress / progress_interval:
+        Optional callback receiving a :class:`SweepProgress` snapshot
+        at most every *progress_interval* seconds (and once at the
+        end) while a run drives -- the CLI's ``--progress`` live line.
 
     Workers are spawned per :meth:`run` call and always torn down
     before it returns -- no worker outlives its sweep, and a worker
@@ -172,7 +245,11 @@ BREAKERS` the certified checker reads).
                  retry: Optional[RetryPolicy] = None,
                  breakers: Optional[BreakerRegistry] = None,
                  start_method: Optional[str] = None,
-                 faults: Optional[str] = None):
+                 faults: Optional[str] = None,
+                 recorder_dir: Optional[str] = None,
+                 progress: Optional[
+                     Callable[[SweepProgress], None]] = None,
+                 progress_interval: float = 0.5):
         self.max_workers = max_workers
         self.task_timeout = (None if task_timeout is None
                              else float(task_timeout))
@@ -183,6 +260,9 @@ BREAKERS` the certified checker reads).
         self.retry = retry if retry is not None else RetryPolicy()
         self.breakers = breakers if breakers is not None else BREAKERS
         self.faults = faults
+        self.recorder_dir = recorder_dir
+        self.progress = progress
+        self.progress_interval = float(progress_interval)
         method = start_method or os.environ.get(START_METHOD_ENV)
         if method is None:
             method = ("fork" if "fork" in mp.get_all_start_methods()
@@ -194,6 +274,9 @@ BREAKERS` the certified checker reads).
         #: Lifetime counters (across runs) for tests and diagnostics.
         self.restarts = 0
         self.retries = 0
+        #: Resource timelines of the most recent run:
+        #: ``{label: [(monotonic_ts, rss_bytes, cpu_seconds), ...]}``.
+        self.last_timelines: Dict[str, List[Tuple[float, int, float]]] = {}
 
     # ------------------------------------------------------------------
 
@@ -284,6 +367,23 @@ class _Run:
         self.failures: Dict[int, WorkerError] = {}
         self.aborted: Optional[str] = None
         self._model_blob: Optional[bytes] = None
+        # Observability state (tentpole wiring).  The enabled flag is
+        # latched here so a mid-run toggle cannot desynchronise the
+        # parent's merge side from what the workers were spawned with.
+        self.obs_enabled = bool(OBS.enabled)
+        self.sweep_span: Optional[Any] = None
+        self.sampler: Optional[ResourceSampler] = None
+        self._worker_stats: Dict[str, int] = {}
+        self._started = time.monotonic()
+        self._last_progress = 0.0
+        if executor.recorder_dir is not None:
+            self.recorder_dir: Optional[str] = executor.recorder_dir
+            self._own_recorder_dir = False
+            os.makedirs(self.recorder_dir, exist_ok=True)
+        else:
+            self.recorder_dir = tempfile.mkdtemp(
+                prefix="repro-flight-")
+            self._own_recorder_dir = True
 
     # -- identity helpers ----------------------------------------------
 
@@ -307,13 +407,16 @@ class _Run:
     def drive(self):
         from repro.algorithms.base import PartialSweep
         engine = self.engine
+        stats_before = engine.stats.as_dict()
         engine.stats.sweep_points += len(self.cells)
         self._prefill()
+        self._start_sampler()
         with obs_span("process_sweep", engine=engine.name,
                       points=len(self.cells),
                       workers=resolve_workers(
                           self.executor.max_workers,
                           len(self.pending))) as span:
+            self.sweep_span = span if self.obs_enabled else None
             # The breaker gates whole runs, not individual cells: an
             # open breaker (repeated failures in earlier runs) vetoes
             # up front, while failures *within* this run are bounded
@@ -328,8 +431,13 @@ class _Run:
                 self._loop()
             finally:
                 self._shutdown()
+                self._stop_sampler()
+                self._cleanup_recorders()
                 if self._own_checkpoint and self.checkpoint is not None:
                     self.checkpoint.close()
+            self._report_progress(time.monotonic(), force=True)
+            if self.obs_enabled:
+                self._publish_parent_stats(stats_before)
             unevaluated = [
                 (i, j) for pos, (i, j) in enumerate(self.cells)
                 if not self.completed[i, j]]
@@ -345,6 +453,117 @@ class _Run:
                                 completed=self.completed,
                                 unevaluated=tuple(unevaluated),
                                 failures=tuple(failures))
+
+    def _publish_parent_stats(self, before: Dict[str, int]) -> None:
+        """Publish the parent's *own* engine-stats contribution.
+
+        Workers already shipped their per-cell deltas (merged with a
+        ``worker="process-N"`` label); what remains unlabelled is the
+        parent-local share -- prefill cache hits, cache evictions from
+        the merge side, and the sweep-point count -- so the summed
+        counters match a thread-executor run of the same grid.
+        """
+        after = self.engine.stats.as_dict()
+        local = {}
+        for key, value in after.items():
+            delta = (value - before.get(key, 0)
+                     - self._worker_stats.get(key, 0))
+            if delta > 0:
+                local[key] = delta
+        if local:
+            record_engine_stats(OBS.metrics, self.engine.name, local)
+
+    # -- observability plumbing ----------------------------------------
+
+    def _start_sampler(self) -> None:
+        """Start the parent-side resource-timeline sampler.
+
+        Runs when a progress callback wants RSS figures or when
+        observability is on; the registry is only wired in the latter
+        case so an obs-off run's registry stays byte-identical.
+        """
+        if self.executor.progress is None and not self.obs_enabled:
+            return
+        registry = OBS.metrics if self.obs_enabled else None
+        self.sampler = ResourceSampler(registry=registry)
+        self.sampler.watch("main", os.getpid())
+        self.sampler.start()
+
+    def _stop_sampler(self) -> None:
+        if self.sampler is None:
+            return
+        self.sampler.stop()
+        self.executor.last_timelines = self.sampler.timelines()
+        self.sampler = None
+
+    def _recorder_path(self, worker_id: int) -> str:
+        assert self.recorder_dir is not None
+        return os.path.join(self.recorder_dir,
+                            f"worker-{worker_id}.jsonl")
+
+    def _flight_tail(self, worker_id: int) -> Tuple[Dict[str, Any], ...]:
+        """The victim's last recorded activity, straight off disk."""
+        return FlightRecorder.read_tail(self._recorder_path(worker_id))
+
+    def _cleanup_recorders(self) -> None:
+        if self._own_recorder_dir and self.recorder_dir is not None:
+            shutil.rmtree(self.recorder_dir, ignore_errors=True)
+            self.recorder_dir = None
+
+    def _merge_telemetry(self, worker: _Worker,
+                         payload: Dict[str, Any]) -> None:
+        """Fold one worker's observability delta into the parent."""
+        if not self.obs_enabled:
+            return
+        parent = worker.last_span or self.sweep_span
+        worker.last_span = None
+        merge_telemetry(payload, OBS.metrics, tracer=OBS.tracer,
+                        parent_span=parent,
+                        convergence=OBS.convergence,
+                        worker=f"process-{worker.id}")
+
+    def _progress_snapshot(self, now: float) -> SweepProgress:
+        done = int(self.completed.sum())
+        total = len(self.cells)
+        elapsed = max(now - self._started, 1e-9)
+        rate = done / elapsed
+        left = total - done
+        eta = (left / rate) if rate > 0.0 and left else None
+        states: Dict[int, str] = {}
+        for worker in self.workers.values():
+            if worker.dead:
+                states[worker.id] = "dead"
+            elif worker.task is not None:
+                states[worker.id] = self._label(worker.task.pos)
+            elif worker.acked:
+                states[worker.id] = "idle"
+            else:
+                states[worker.id] = "starting"
+        open_breakers = tuple(self.executor.breakers.open_keys())
+        rss: Dict[str, int] = {}
+        if self.sampler is not None:
+            rss = {label: sample[1] for label, sample
+                   in self.sampler.latest().items()}
+        return SweepProgress(done=done, total=total,
+                             failed=len(self.failures),
+                             pending=len(self.pending),
+                             elapsed=elapsed, rate=rate,
+                             eta_seconds=eta, workers=states,
+                             open_breakers=open_breakers,
+                             rss_bytes=rss)
+
+    def _report_progress(self, now: float, force: bool = False) -> None:
+        callback = self.executor.progress
+        if callback is None:
+            return
+        if (not force and now - self._last_progress
+                < self.executor.progress_interval):
+            return
+        self._last_progress = now
+        try:
+            callback(self._progress_snapshot(now))
+        except Exception:  # noqa: BLE001 - progress must not kill a run
+            pass
 
     def _prefill(self) -> None:
         """Serve cells from the checkpoint and the shared cache; queue
@@ -391,7 +610,9 @@ class _Run:
             self._dispatch(now)
             self._wait(now)
             self._reap()
-            self._check_liveness(time.monotonic())
+            now = time.monotonic()
+            self._check_liveness(now)
+            self._report_progress(now)
 
     def _dispatch(self, now: float) -> None:
         idle = [w for w in self.workers.values() if w.idle]
@@ -476,6 +697,8 @@ class _Run:
             worker.last_heartbeat = time.monotonic()
         elif kind == "heartbeat":
             worker.last_heartbeat = time.monotonic()
+        elif kind == "telemetry":
+            self._merge_telemetry(worker, message[2])
         elif kind == "result":
             self._handle_result(worker, message)
         elif kind == "error":
@@ -495,28 +718,38 @@ class _Run:
         _, seq, data, checksum, delta = message
         task = worker.task
         if task is None or task.seq != seq:
+            worker.last_span = None
             return  # stale result of a task already retried elsewhere
         worker.task = None
         elapsed = time.monotonic() - task.started
         if _checksum(data) != checksum:
+            worker.last_span = None
             self._task_failed(
                 task.pos, task.attempt, "corrupt",
-                WorkerCrashError("corrupt", worker.id))
+                WorkerCrashError("corrupt", worker.id,
+                                 flight_tail=self._flight_tail(
+                                     worker.id)))
             return
         vector = np.frombuffer(data, dtype="<f8").astype(float,
                                                          copy=True)
         self.engine.stats.merge(EngineStats(**delta))
         self._complete(task.pos, vector)
         self.breaker.record_success()
-        if OBS.enabled:
+        if self.obs_enabled:
+            for key, value in delta.items():
+                self._worker_stats[key] = (
+                    self._worker_stats.get(key, 0) + value)
             OBS.metrics.histogram(
                 "repro_sweep_cell_seconds",
                 engine=self.engine.name).observe(elapsed)
             with OBS.tracer.span("worker",
                                  worker=f"process-{worker.id}",
                                  cell=self._label(task.pos),
-                                 seconds=round(elapsed, 6)):
+                                 seconds=round(elapsed, 6)) as wspan:
                 pass
+            # The telemetry delta for this cell follows on the same
+            # pipe; its spans re-parent under this "worker" span.
+            worker.last_span = wspan
 
     def _complete(self, pos: int, vector: np.ndarray,
                   from_cache: bool = False) -> None:
@@ -534,7 +767,9 @@ class _Run:
     # -- failure machinery ---------------------------------------------
 
     def _give_up(self, pos: int, cause: BaseException) -> None:
-        self.failures[pos] = WorkerError(pos, cause, self._label(pos))
+        tail = getattr(cause, "flight_tail", ())
+        self.failures[pos] = WorkerError(pos, cause, self._label(pos),
+                                         flight_tail=tail)
 
     def _task_failed(self, pos: int, attempt: int, reason: str,
                      cause: BaseException) -> None:
@@ -561,7 +796,9 @@ class _Run:
         if task is not None:
             self._task_failed(
                 task.pos, task.attempt, reason,
-                WorkerCrashError(reason, worker.id, exitcode))
+                WorkerCrashError(reason, worker.id, exitcode,
+                                 flight_tail=self._flight_tail(
+                                     worker.id)))
 
     def _reap(self) -> None:
         """Remove workers that died on their own (crash, OOM kill)."""
@@ -605,6 +842,8 @@ class _Run:
 
     def _discard(self, worker: _Worker) -> None:
         self.workers.pop(worker.id, None)
+        if self.sampler is not None:
+            self.sampler.unwatch(f"process-{worker.id}")
         try:
             worker.conn.close()
         except OSError:  # pragma: no cover
@@ -621,13 +860,17 @@ class _Run:
             target=worker_main,
             args=(child_conn, worker_id,
                   self.executor.heartbeat_interval,
-                  self.executor.faults),
+                  self.executor.faults,
+                  self.obs_enabled,
+                  self._recorder_path(worker_id)),
             name=f"repro-exec-{self.sweep_id}-{worker_id}",
             daemon=True)
         process.start()
         child_conn.close()
         self.workers[worker_id] = _Worker(process, parent_conn,
                                           worker_id)
+        if self.sampler is not None and process.pid is not None:
+            self.sampler.watch(f"process-{worker_id}", process.pid)
 
     def _shutdown(self) -> None:
         """Stop every worker; none may outlive the run."""
@@ -637,6 +880,8 @@ class _Run:
             except (BrokenPipeError, OSError):
                 pass
         grace = time.monotonic() + _SHUTDOWN_GRACE
+        if self.obs_enabled:
+            self._drain_final_telemetry(grace)
         for worker in self.workers.values():
             worker.process.join(
                 timeout=max(0.0, grace - time.monotonic()))
@@ -644,6 +889,37 @@ class _Run:
             self._terminate(worker)
             self._discard(worker)
         self.workers.clear()
+
+    def _drain_final_telemetry(self, deadline: float) -> None:
+        """Collect each worker's final telemetry drain before teardown.
+
+        Workers send one last ``("telemetry", ...)`` before honouring
+        the stop (pipe FIFO guarantees it precedes their exit), so
+        polling until the grace deadline loses nothing from workers
+        that die mid-drain -- their pipes just EOF.
+        """
+        # A worker's last per-cell telemetry may still be in flight
+        # when the loop exits; its ``last_span`` is intact, so that
+        # payload still lands under the right worker span, while the
+        # final drain proper (sent after it) re-parents to the sweep
+        # span because ``_merge_telemetry`` consumes the span once.
+        waiting = [w for w in self.workers.values() if not w.dead]
+        while waiting and time.monotonic() < deadline:
+            still = []
+            for worker in waiting:
+                got_final = False
+                try:
+                    while worker.conn.poll(0.05):
+                        message = worker.conn.recv()
+                        if message[0] == "telemetry":
+                            self._merge_telemetry(worker, message[2])
+                            got_final = True
+                except (EOFError, OSError):
+                    worker.dead = True
+                    continue
+                if not got_final and worker.process.is_alive():
+                    still.append(worker)
+            waiting = still
 
 
 class ThreadShardExecutor:

@@ -226,6 +226,16 @@ class BreakerRegistry:
         with self._lock:
             self._breakers.clear()
 
+    def open_keys(self) -> "list[str]":
+        """Keys whose breakers are not closed (open or half-open).
+
+        The process executor's progress line and ``repro check -v``
+        use this to show which engine/backend combinations are
+        currently being vetoed.
+        """
+        return [breaker.key for breaker in self
+                if breaker.state != "closed"]
+
     def __iter__(self) -> Iterator[CircuitBreaker]:
         with self._lock:
             return iter(list(self._breakers.values()))

@@ -23,6 +23,12 @@ Worker -> parent::
                                            bytes + BLAKE2b checksum +
                                            engine-stats delta
     ("error", seq, type, message, tb)      the engine raised
+    ("telemetry", worker_id, payload)      observability delta (obs
+                                           runs only): piggybacked
+                                           after each result/error
+                                           and drained once more on a
+                                           clean stop -- see
+                                           :mod:`repro.obs.remote`
 
 Design notes:
 
@@ -49,6 +55,19 @@ FaultPlan` is active (explicit spec or the ``REPRO_FAULTS``
   environment variable), the worker consults it per ``(cell,
   attempt)`` right before computing; see :mod:`repro.exec.faultinject`
   for the kinds.
+* **Flight recorder** -- every task-level event (start, injected
+  fault, completion with its stats delta, engine error) is appended
+  to an fsynced per-worker JSONL sidecar
+  (:class:`~repro.obs.recorder.FlightRecorder`) *before* the risky
+  step runs, so after a crash or hang kill the parent can read what
+  this worker was doing when it died.
+* **Telemetry** -- when the parent captured observability
+  (``obs_enabled``), the worker enables its own :data:`repro.obs.OBS`
+  from a clean slate and ships a picklable delta of registry state,
+  spans and convergence records after each task and once more on a
+  clean stop (:func:`repro.obs.remote.export_telemetry`); the parent
+  merges and re-parents them.  Disabled, no telemetry message is ever
+  sent -- the wire traffic is byte-identical to an unobserved run.
 """
 
 from __future__ import annotations
@@ -65,6 +84,9 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.exec.faultinject import FaultPlan
+from repro.obs import OBS, REGISTRY
+from repro.obs.recorder import FlightRecorder
+from repro.obs.remote import export_telemetry
 
 #: Injected hangs sleep this long; the parent's heartbeat-staleness
 #: kill always fires first.
@@ -150,11 +172,33 @@ def _corrupt(data: bytes) -> bytes:
     return bytes(flipped)
 
 
+def _send_telemetry(conn, send_lock: threading.Lock,
+                    worker_id: int) -> None:
+    """Ship (and reset) this worker's observability delta."""
+    payload = export_telemetry(REGISTRY, OBS.tracer, OBS.convergence)
+    try:
+        with send_lock:
+            conn.send(("telemetry", worker_id, payload))
+    except (BrokenPipeError, OSError):
+        pass  # parent is gone; the heartbeat watch will exit us
+
+
 def _run_task(context: _SweepContext, message: Tuple,
               plan: FaultPlan, heartbeat: _Heartbeat,
-              conn, send_lock: threading.Lock) -> None:
+              conn, send_lock: threading.Lock,
+              recorder: Optional[FlightRecorder] = None,
+              worker_id: int = 0,
+              obs_enabled: bool = False) -> None:
     _, seq, linear, i, j, attempt = message
     fault = plan.fault_for(int(linear), int(attempt))
+    started = time.monotonic()
+    if recorder is not None:
+        recorder.record("task_start", seq=int(seq),
+                        cell=[int(i), int(j)],
+                        t=context.times[i], r=context.rewards[j],
+                        attempt=int(attempt))
+        if fault is not None:
+            recorder.record("fault", seq=int(seq), fault=fault)
     if plan.sleep > 0.0:
         time.sleep(plan.sleep)
     _apply_pre_fault(fault, heartbeat)
@@ -167,25 +211,51 @@ def _run_task(context: _SweepContext, message: Tuple,
     except BaseException as exc:  # noqa: BLE001 - shipped to parent
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise
+        if recorder is not None:
+            recorder.record("task_error", seq=int(seq),
+                            error=type(exc).__name__,
+                            message=str(exc))
         with send_lock:
             conn.send(("error", seq, type(exc).__name__, str(exc),
                        traceback.format_exc()))
+        if obs_enabled:
+            _send_telemetry(conn, send_lock, worker_id)
         return
     after = engine.stats.as_dict()
     delta = {key: after[key] - before[key] for key in after}
+    if recorder is not None:
+        recorder.record("task_done", seq=int(seq),
+                        seconds=round(time.monotonic() - started, 6),
+                        delta={key: value for key, value
+                               in delta.items() if value})
     data = np.ascontiguousarray(vector, dtype="<f8").tobytes()
     checksum = _checksum(data)
     if fault == "corrupt":
         data = _corrupt(data)
     with send_lock:
         conn.send(("result", seq, data, checksum, delta))
+    if obs_enabled:
+        _send_telemetry(conn, send_lock, worker_id)
 
 
 def worker_main(conn, worker_id: int, heartbeat_interval: float,
-                fault_spec: Optional[str]) -> None:
+                fault_spec: Optional[str],
+                obs_enabled: bool = False,
+                recorder_path: Optional[str] = None) -> None:
     """Entry point of one worker process (see the module docstring)."""
     plan = (FaultPlan.parse(fault_spec) if fault_spec is not None
             else FaultPlan.from_env())
+    if obs_enabled:
+        # Start from a clean slate: under the fork start method this
+        # process inherited the parent's registry and spans, which the
+        # parent already owns -- shipping them back would double-count.
+        REGISTRY.reset()
+        OBS.reset()
+        OBS.enable()
+    else:
+        OBS.disable()
+    recorder = (FlightRecorder(recorder_path)
+                if recorder_path else None)
     send_lock = threading.Lock()
     heartbeat = _Heartbeat(conn, send_lock, heartbeat_interval)
     heartbeat.start()
@@ -201,6 +271,11 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float,
                 break  # parent is gone
             kind = message[0]
             if kind == "stop":
+                if obs_enabled:
+                    # Final drain: whatever accumulated since the last
+                    # task (idle spans, stragglers) goes home before
+                    # the pipe closes.
+                    _send_telemetry(conn, send_lock, worker_id)
                 break
             elif kind == "sweep":
                 context = _SweepContext(*message[1:])
@@ -227,10 +302,14 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float,
                                    "task before sweep context", ""))
                     continue
                 _run_task(context, message, plan, heartbeat, conn,
-                          send_lock)
+                          send_lock, recorder=recorder,
+                          worker_id=worker_id,
+                          obs_enabled=obs_enabled)
             # Unknown kinds are ignored: forward protocol compatibility.
     finally:
         heartbeat.stop()
+        if recorder is not None:
+            recorder.close()
         try:
             conn.close()
         except OSError:  # pragma: no cover

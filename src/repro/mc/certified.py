@@ -59,13 +59,19 @@ class EngineFailure:
     circuit breaker (:data:`repro.exec.BREAKERS`) was open from recent
     repeated failures: the chain degrades past them immediately rather
     than paying for another likely failure, and retries once the
-    breaker's cooldown admits a probe.
+    breaker's cooldown admits a probe.  ``flight_tail`` carries the
+    dying worker's last flight-recorder events when the failure came
+    out of a process-executor run (see
+    :class:`repro.obs.recorder.FlightRecorder`); ``repro check -v``
+    prints them so "what was the worker doing when it died" survives
+    all the way up the chain.
     """
 
     engine: str
     reason: str
     skipped_static: bool = False
     skipped_breaker: bool = False
+    flight_tail: Tuple = ()
 
     def __str__(self) -> str:
         if self.skipped_static:
@@ -75,6 +81,25 @@ class EngineFailure:
         else:
             prefix = ""
         return f"{self.engine}: {prefix}{self.reason}"
+
+
+def _flight_tail_of(exc: BaseException) -> Tuple:
+    """The flight-recorder tail riding on *exc*, if any.
+
+    Process-executor failures carry the victim's last recorded events
+    either directly (:class:`~repro.errors.WorkerError` /
+    :class:`~repro.errors.WorkerCrashError`) or nested inside a
+    :class:`~repro.errors.ParallelExecutionError`'s per-task failures;
+    the first non-empty tail wins.
+    """
+    tail = getattr(exc, "flight_tail", ())
+    if tail:
+        return tuple(tail)
+    for failure in getattr(exc, "failures", ()):
+        tail = getattr(failure, "flight_tail", ())
+        if tail:
+            return tuple(tail)
+    return ()
 
 
 @dataclass(frozen=True)
@@ -288,7 +313,9 @@ class CertifiedChecker:
                 except NumericalError as exc:
                     if breaker is not None:
                         breaker.record_failure()
-                    failures.append(EngineFailure(current.name, str(exc)))
+                    failures.append(EngineFailure(
+                        current.name, str(exc),
+                        flight_tail=_flight_tail_of(exc)))
                     break  # degrade to the next engine in the chain
                 if breaker is not None:
                     # A produced enclosure closes a half-open breaker,

@@ -41,9 +41,12 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 from .convergence import ConvergenceRecorder, SeriesRecord
+from .httpd import MetricsServer, serve_metrics
 from .metrics import (DEFAULT_BUCKETS, ENGINE_STAT_COUNTERS, Counter,
                       Gauge, Histogram, MetricsRegistry,
                       peak_rss_bytes, record_engine_stats)
+from .recorder import FlightRecorder, ResourceSampler
+from .remote import export_telemetry, merge_telemetry
 from .trace import _CURRENT, Span, Tracer
 
 __all__ = [
@@ -52,6 +55,8 @@ __all__ = [
     "Histogram", "ConvergenceRecorder", "SeriesRecord",
     "DEFAULT_BUCKETS", "ENGINE_STAT_COUNTERS", "record_engine_stats",
     "peak_rss_bytes",
+    "FlightRecorder", "ResourceSampler", "MetricsServer",
+    "serve_metrics", "export_telemetry", "merge_telemetry",
 ]
 
 #: Process-wide metrics registry -- always on (see module docstring).

@@ -1,0 +1,102 @@
+"""A zero-dependency ``/metrics`` endpoint over the metrics registry.
+
+:func:`serve_metrics` starts a background
+:class:`http.server.ThreadingHTTPServer` whose ``GET /metrics`` (and
+``GET /``) render the given
+:class:`~repro.obs.metrics.MetricsRegistry` as Prometheus text
+exposition -- the registry is read live on every scrape, so a running
+sweep's counters are visible mid-flight.  This is the first brick of
+the ROADMAP's model-checking-as-a-service item: the CLI exposes it as
+``repro check --metrics-port`` and libraries embed it directly::
+
+    from repro.obs.httpd import serve_metrics
+
+    with serve_metrics(port=0) as server:   # port 0 = ephemeral
+        print(server.url)                   # http://127.0.0.1:NNNNN/metrics
+        ...                                 # run checks; scrape away
+
+Standard library only, like the rest of :mod:`repro.obs`; the server
+thread is a daemon, so an unclosed server never blocks interpreter
+exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from .metrics import MetricsRegistry
+
+#: Prometheus text exposition content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """A running metrics endpoint; close it (or use as a context
+    manager) to stop serving."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+                    self.send_error(404, "only /metrics is served")
+                    return
+                body = server.registry.render_prometheus().encode(
+                    "utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: Any) -> None:
+                pass  # scrapes are not worth stderr noise
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = self._httpd.server_address[0]
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-{self.port}", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MetricsServer({self.url!r})"
+
+
+def serve_metrics(registry: Optional[MetricsRegistry] = None,
+                  host: str = "127.0.0.1",
+                  port: int = 0) -> MetricsServer:
+    """Serve *registry* (default: the process-wide ``REGISTRY``) as
+    Prometheus text on ``http://host:port/metrics``.
+
+    ``port=0`` binds an ephemeral port; read it back from the returned
+    server's ``port``/``url``.  The server runs on a daemon thread
+    until :meth:`MetricsServer.close`.
+    """
+    if registry is None:
+        from repro.obs import REGISTRY
+        registry = REGISTRY
+    return MetricsServer(registry, host=host, port=port)

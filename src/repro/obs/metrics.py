@@ -61,10 +61,18 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping (backslash, quote, LF)."""
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in key)
     return "{" + inner + "}"
 
 
@@ -191,6 +199,11 @@ class Histogram:
                 f"{_render_labels(self.labels)}, n={self.count})")
 
 
+#: Wire names of the metric types (export/merge and Prometheus TYPE).
+_TYPE_NAMES: Dict[type, str] = {Counter: "counter", Gauge: "gauge",
+                                Histogram: "histogram"}
+
+
 class MetricsRegistry:
     """Name- and label-addressed home of every metric.
 
@@ -268,6 +281,91 @@ class MetricsRegistry:
                 family[label] = metric.value
         return out
 
+    def export_state(self) -> List[Dict[str, Any]]:
+        """The registry's full state as picklable plain data.
+
+        This is the lossless companion of :meth:`snapshot` (which is
+        render-oriented): one dict per metric carrying the type, the
+        raw label pairs, and -- for histograms -- the complete bucket
+        state, so :meth:`merge` can rebuild every metric exactly.  The
+        worker side of the process executor ships this over the result
+        pipe (:mod:`repro.obs.remote`).
+        """
+        out: List[Dict[str, Any]] = []
+        for metric in self.collect():
+            entry: Dict[str, Any] = {
+                "name": metric.name,
+                "type": _TYPE_NAMES[type(metric)],
+                "labels": [[name, value] for name, value
+                           in metric.labels],
+            }
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    entry.update(bounds=list(metric.bounds),
+                                 counts=list(metric.counts),
+                                 sum=metric.sum, count=metric.count,
+                                 min=metric.min, max=metric.max)
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return out
+
+    def merge(self, state: Iterable[Dict[str, Any]],
+              extra_labels: Optional[Dict[str, Any]] = None) -> None:
+        """Fold an :meth:`export_state` snapshot into this registry.
+
+        *extra_labels* are added to every merged metric (overriding
+        same-named labels from the snapshot) -- the process executor
+        merges worker snapshots with ``{"worker": "process-i"}``.
+        Merge semantics per type: counters add, gauges keep the
+        maximum (every gauge merged across workers is a high-water
+        mark), histograms add bucket by bucket.  A name registered
+        here under a different metric type, or a histogram with
+        different bucket bounds, raises ``ValueError`` -- merging
+        never silently coerces.
+        """
+        extra = {str(k): str(v)
+                 for k, v in (extra_labels or {}).items()}
+        for entry in state:
+            name = str(entry["name"])
+            kind = str(entry["type"])
+            labels = {str(k): str(v)
+                      for k, v in entry.get("labels", ())}
+            labels.update(extra)
+            if kind == "counter":
+                self.counter(name, **labels).inc(
+                    float(entry.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name, **labels).update_max(
+                    float(entry.get("value", 0.0)))
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in entry["bounds"])
+                histogram = self.histogram(name, bounds=bounds,
+                                           **labels)
+                if histogram.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ "
+                        f"from the snapshot's; cannot merge")
+                counts = [int(c) for c in entry["counts"]]
+                if len(counts) != len(histogram.counts):
+                    raise ValueError(
+                        f"histogram {name!r} bucket count mismatch")
+                lo, hi = entry.get("min"), entry.get("max")
+                with histogram._lock:
+                    for index, count in enumerate(counts):
+                        histogram.counts[index] += count
+                    histogram.sum += float(entry.get("sum", 0.0))
+                    histogram.count += int(entry.get("count", 0))
+                    if lo is not None and (histogram.min is None
+                                           or lo < histogram.min):
+                        histogram.min = float(lo)
+                    if hi is not None and (histogram.max is None
+                                           or hi > histogram.max):
+                        histogram.max = float(hi)
+            else:
+                raise ValueError(
+                    f"unknown metric type {kind!r} for {name!r}")
+
     def reset(self) -> None:
         """Drop every metric (benchmarks isolate rows this way)."""
         with self._lock:
@@ -280,8 +378,7 @@ class MetricsRegistry:
         last_name = None
         for metric in self.collect():
             if metric.name != last_name:
-                kind = {Counter: "counter", Gauge: "gauge",
-                        Histogram: "histogram"}[type(metric)]
+                kind = _TYPE_NAMES[type(metric)]
                 lines.append(f"# TYPE {metric.name} {kind}")
                 last_name = metric.name
             labels = _render_labels(metric.labels)
@@ -320,16 +417,20 @@ ENGINE_STAT_COUNTERS: Dict[str, str] = {
 
 
 def record_engine_stats(registry: MetricsRegistry, engine: str,
-                        delta: Dict[str, int]) -> None:
+                        delta: Dict[str, int],
+                        **labels: Any) -> None:
     """Publish one call's :class:`EngineStats` delta into *registry*.
 
     This is the absorption point that lets the registry supersede the
     per-engine counters: every engine entry point snapshots its stats
     before and after the computation and hands the difference here, so
     ``repro_engine_*_total{engine=...}`` accumulate exactly what the
-    compatibility view counts.
+    compatibility view counts.  Extra *labels* ride along -- the
+    threaded fan-out adds ``worker="thread-i"`` so its per-clone
+    deltas carry the same label scheme as merged process-worker
+    snapshots.
     """
     for field, name in ENGINE_STAT_COUNTERS.items():
         amount = delta.get(field, 0)
         if amount:
-            registry.counter(name, engine=engine).inc(amount)
+            registry.counter(name, engine=engine, **labels).inc(amount)

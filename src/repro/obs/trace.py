@@ -32,7 +32,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: Sentinel meaning "use the calling thread's current span as parent".
 _CURRENT = object()
@@ -191,11 +191,91 @@ class Tracer:
             collected.extend(root.walk())
         return collected
 
+    def export_segments(self, limit: Optional[int] = 512,
+                        clear: bool = False) -> List[Dict[str, Any]]:
+        """Finished spans as flat, picklable dicts, bounded to *limit*.
+
+        The worker side of the process executor ships these over the
+        result pipe after each task (:mod:`repro.obs.remote`).  When
+        more than *limit* spans have finished, only the most recent
+        *limit* are exported -- a truncated record whose parent was
+        dropped is re-parented at adoption time, so the bound never
+        corrupts the tree, it only prunes it.  *clear* drops the
+        exported spans afterwards, turning repeated exports into
+        deltas.
+        """
+        spans = self.spans()
+        if limit is not None and len(spans) > limit:
+            spans = spans[-limit:]
+        records = [span.to_dict() for span in spans]
+        if clear:
+            self.clear()
+        return records
+
+    def adopt_segments(self, records: List[Dict[str, Any]],
+                       parent: Optional[Span] = None) -> List[Span]:
+        """Rebuild exported segments as spans of *this* tracer.
+
+        The inverse of :meth:`export_segments` on the parent side:
+        every record becomes a closed :class:`Span` with a fresh id
+        from this tracer's counter (foreign ids never leak in), the
+        recorded parent/child structure is restored, and records whose
+        parent is not in the batch attach under *parent* (or become
+        roots) -- this is how a worker's ``joint_vector`` trees are
+        re-parented under the parent process's ``process_sweep`` span.
+        Returns the adopted top-level spans.
+        """
+        pairs: List[Tuple[Span, Optional[int]]] = []
+        id_map: Dict[int, Span] = {}
+        for record in records:
+            span = Span(str(record.get("name", "span")),
+                        next(self._ids), None,
+                        record.get("attributes"))
+            start_wall = record.get("start_wall")
+            if start_wall is not None:
+                span.start_wall = float(start_wall)
+            span.wall_seconds = float(record.get("wall_seconds")
+                                      or 0.0)
+            span.cpu_seconds = float(record.get("cpu_seconds") or 0.0)
+            thread = record.get("thread")
+            if thread is not None:
+                span.thread = str(thread)
+            old_id = record.get("span_id")
+            if old_id is not None:
+                id_map[int(old_id)] = span
+            pairs.append((span, record.get("parent_id")))
+        tops: List[Span] = []
+        with self._lock:
+            for span, old_parent in pairs:
+                target = (id_map.get(int(old_parent))
+                          if old_parent is not None else None)
+                if target is not None and target is not span:
+                    span.parent_id = target.span_id
+                    target.children.append(span)
+                else:
+                    span.parent_id = (parent.span_id
+                                      if parent is not None else None)
+                    if parent is not None:
+                        parent.children.append(span)
+                    else:
+                        self.roots.append(span)
+                    tops.append(span)
+                self._spans[span.span_id] = span
+        return tops
+
     def clear(self) -> None:
-        """Drop all finished spans (open spans are unaffected)."""
+        """Drop all finished spans and every thread's span stack.
+
+        Dropping the stacks matters for forked worker processes: the
+        child's main thread inherits the parent's thread-local stack,
+        so without this a worker's spans would silently attach to the
+        parent's (stale, never-finishing) open span instead of
+        becoming roots -- and never show up in an export.
+        """
         with self._lock:
             self.roots.clear()
             self._spans.clear()
+            self._local = threading.local()
 
     def __repr__(self) -> str:
         return f"Tracer(roots={len(self.roots)})"

@@ -121,6 +121,62 @@ def test_double_fault_exhausts_then_retries_succeed(reference):
     _assert_no_orphans()
 
 
+def _run_give_up(faults: str, recorder_dir=None):
+    """A sweep whose cell-0 faults outlast the retry budget."""
+    from repro.exec import RetryPolicy
+    from repro.exec.retry import BreakerRegistry
+    engine = get_engine("sericola")
+    executor = ProcessShardExecutor(
+        max_workers=2, heartbeat_interval=0.05,
+        heartbeat_timeout=0.5, faults=faults,
+        retry=RetryPolicy(max_retries=2, base_delay=0.01),
+        breakers=BreakerRegistry(failure_threshold=100),
+        recorder_dir=recorder_dir)
+    partial = engine.joint_probability_sweep_partial(
+        build_model(), TIMES, REWARDS, TARGET, executor=executor)
+    return partial
+
+
+def test_give_up_carries_flight_recorder_tail(reference):
+    """A cell that crashes its worker on every attempt surfaces as a
+    ``WorkerError`` carrying the victim's final recorded activity:
+    the ``task_start`` for the doomed cell and the injected fault."""
+    partial = _run_give_up("crash@0;attempts=9")
+    assert not partial.complete
+    failure, = partial.failures
+    assert failure.flight_tail, "WorkerError lost the flight tail"
+    kinds = [event["kind"] for event in failure.flight_tail]
+    assert "task_start" in kinds
+    starts = [event for event in failure.flight_tail
+              if event["kind"] == "task_start"]
+    assert starts[-1]["cell"] == [0, 0]
+    # Exactly the doomed cell is missing (NaN); every surviving cell
+    # still matches the fault-free reference bit for bit.
+    assert partial.unevaluated == ((0, 0),)
+    mask = ~np.isnan(partial.grid)
+    assert np.array_equal(partial.grid[mask], reference[mask])
+    _assert_no_orphans()
+
+
+def test_hang_give_up_carries_flight_tail(reference, tmp_path):
+    """Hang faults (heartbeat-timeout kills) keep the tail too, and an
+    explicit ``recorder_dir`` preserves the sidecars after the run."""
+    recorder_dir = str(tmp_path / "flight")
+    partial = _run_give_up("hang@0;attempts=9",
+                           recorder_dir=recorder_dir)
+    assert not partial.complete
+    failure, = partial.failures
+    assert failure.flight_tail
+    assert any(event["kind"] == "task_start"
+               and event["cell"] == [0, 0]
+               for event in failure.flight_tail)
+    sidecars = [name for name in os.listdir(recorder_dir)
+                if name.startswith("worker-")
+                and name.endswith(".jsonl")]
+    assert sidecars, "explicit recorder_dir lost its sidecars"
+    _assert_no_orphans()
+
+
 def test_chaos_with_checkpoint_resume(reference, tmp_path):
     """A faulted, checkpointed run resumes into a clean run exactly."""
     path = str(tmp_path / "chaos.jsonl")

@@ -139,6 +139,45 @@ class TestMetrics:
         assert 'c_total{engine="e"} 2' in text
         assert 'le="+Inf"' in text
 
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total",
+                         path='a\\b"c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        assert "\nd" not in text.replace('\\nd', '')
+
+    def test_prometheus_histogram_invariants(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h_seconds", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 50.0):  # one beyond every bound
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("h_seconds_bucket")]
+        # Cumulative buckets end at +Inf == _count; _sum is exact.
+        assert buckets[-1] == 'h_seconds_bucket{le="+Inf"} 3'
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert "h_seconds_count 3" in lines
+        sum_line, = [line for line in lines
+                     if line.startswith("h_seconds_sum")]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(
+            50.55)
+
+    def test_type_conflict_across_merge(self):
+        registry = MetricsRegistry()
+        registry.counter("thing").inc()
+        foreign = MetricsRegistry()
+        foreign.gauge("thing").update_max(3)
+        with pytest.raises(ValueError):
+            registry.merge(foreign.export_state())
+        with pytest.raises(ValueError):
+            registry.merge([{"name": "thing", "type": "sundial",
+                             "labels": [], "value": 1.0}])
+
     def test_record_engine_stats(self):
         registry = MetricsRegistry()
         record_engine_stats(registry, "sericola",

@@ -320,11 +320,12 @@ class TestImpulseProperties:
         # atoms (integer impulse multiples plus the rate term) while
         # staying on the discretisation grid (24/64).  Even off the
         # atoms the phase approximation converges only at O(1/k) with
-        # a model-dependent constant; 512 phases has been observed to
-        # leave a gap just over the 0.05 tolerance, 2048 is safely in.
+        # a model-dependent constant; 2048 phases has been observed to
+        # leave a gap just over the 0.05 tolerance (0.051 on a 2-state
+        # chain at t=0.375), 4096 halves it to safely within.
         r = ((impulse + model.max_reward) * max(1.0, aligned) * 1.5
              + 0.375)
-        erlang = ErlangEngine(phases=2048).joint_probability_vector(
+        erlang = ErlangEngine(phases=4096).joint_probability_vector(
             spiked, aligned, r, {0})
         engine = DiscretizationEngine(step=step)
         indicator = np.zeros(spiked.num_states)
